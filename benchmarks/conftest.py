@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and both
+prints it and writes it under ``benchmarks/output/``.  The simulation
+scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.25, the quick preset); set it to 1.0 to regenerate the
+numbers quoted in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import RunSettings
+from repro.sim.config import SimConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    """Run settings for benchmark runs (scale from REPRO_BENCH_SCALE)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+    if scale >= 1.0:
+        config = SimConfig(seed=seed)
+    else:
+        config = SimConfig(
+            stream_length=768, scale=scale, seed=seed, ibs_rate=2e-4
+        )
+    return RunSettings(config=config, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Callable that prints a report and persists it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _sink(report) -> None:
+        text = report.render()
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+
+    return _sink

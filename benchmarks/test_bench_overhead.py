@@ -1,0 +1,24 @@
+"""Regenerates Section 4.2: Carrefour-LP overhead assessment."""
+
+from repro.experiments.experiments import overhead
+from repro.workloads.registry import UNAFFECTED_SET
+
+
+def test_bench_overhead(benchmark, settings, report_sink):
+    report = benchmark.pedantic(overhead, args=(settings,), rounds=1, iterations=1)
+    report_sink(report)
+    data = report.data
+    # LP vs the reactive approach: small overhead across the board
+    # (paper: 1-2%, 3.2% worst; allow slack at reduced scale).
+    worst_vs_reactive = max(
+        entries["reactive-only"]
+        for machine in data.values()
+        for entries in machine.values()
+    )
+    assert worst_vs_reactive < 15.0
+    # For neutral applications LP must stay near Linux-4K.
+    for bench in ("Kmeans", "BT.B", "MG.D", "DC.A"):
+        for machine in ("A", "B"):
+            assert data[machine][bench]["linux-4k"] < 12.0, (
+                f"{bench}@{machine}: LP overhead vs Linux too high"
+            )

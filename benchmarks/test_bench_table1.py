@@ -1,0 +1,18 @@
+"""Regenerates Table 1: detailed Linux-vs-THP analysis of five apps."""
+
+from repro.experiments.experiments import table1
+
+
+def test_bench_table1(benchmark, settings, report_sink):
+    report = benchmark.pedantic(table1, args=(settings,), rounds=1, iterations=1)
+    report_sink(report)
+    data = report.data
+    cg = data["CG.D@B"]
+    assert cg["thp"].imbalance_pct > cg["linux"].imbalance_pct + 30
+    ua = data["UA.C@B"]
+    assert ua["thp"].lar_pct < ua["linux"].lar_pct - 10
+    wc = data["WC@B"]
+    assert wc["thp"].fault_time_total_s < wc["linux"].fault_time_total_s
+    ssca = data["SSCA.20@A"]
+    assert ssca["linux"].pct_l2_walk > 8
+    assert ssca["thp"].pct_l2_walk < 2

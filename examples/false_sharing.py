@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Page-level false sharing as a function of data layout (Section 3.1).
+
+Sweeps the block size of a per-thread partitioned region.  With small
+blocks, one 2MB page holds many threads' private data: under THP the
+page must live on a single node (or be interleaved), destroying the
+locality that 4KB first-touch placement provides.  Blocks of 2MB or
+more eliminate the effect entirely — the data-layout fix the paper's
+Carrefour-LP makes unnecessary.
+
+Run:  python examples/false_sharing.py
+"""
+
+from repro.hardware.machines import machine_a
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.policy import LinuxPolicy
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.common import reference_cost
+from repro.workloads.regions import PartitionedRegion
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def run(block_bytes: int, thp: bool):
+    machine = machine_a()
+    region = PartitionedRegion(
+        "elements",
+        bytes_per_thread=12 * MIB,
+        access_share=1.0,
+        block_bytes=block_bytes,
+        neighbor_share=0.05,
+    )
+    instance = WorkloadInstance(
+        "false-sharing-demo",
+        machine,
+        [region],
+        cost=reference_cost(machine, rho=0.4, cpu_s=0.06),
+        total_epochs=8,
+    )
+    sim = Simulation(
+        machine, instance, LinuxPolicy(thp=thp), SimConfig(stream_length=768, seed=0)
+    )
+    return sim.run()
+
+
+def main() -> None:
+    print(f"{'block size':>10s} {'LAR 4K':>7s} {'LAR THP':>8s} "
+          f"{'PSP 4K':>7s} {'PSP THP':>8s} {'THP slowdown':>13s}")
+    for block in (64 * KIB, 256 * KIB, 512 * KIB, 2 * MIB, 4 * MIB):
+        small = run(block, thp=False)
+        huge = run(block, thp=True)
+        ms, mh = small.metrics(), huge.metrics()
+        slowdown = (huge.runtime_s / small.runtime_s - 1) * 100
+        label = f"{block // KIB}KiB" if block < MIB else f"{block // MIB}MiB"
+        print(
+            f"{label:>10s} {ms.lar_pct:6.0f}% {mh.lar_pct:7.0f}% "
+            f"{ms.psp_pct:6.0f}% {mh.psp_pct:7.0f}% {slowdown:+12.1f}%"
+        )
+    print(
+        "\nSmall blocks: high locality at 4KB, but each 2MB page mixes"
+        "\nmany threads' data (PSP explodes, LAR collapses under THP)."
+        "\nOnce blocks reach the huge-page size, pages are single-owner"
+        "\nagain and THP is harmless — UA's pathology is purely a"
+        "\nlayout-versus-page-size interaction."
+    )
+
+
+if __name__ == "__main__":
+    main()

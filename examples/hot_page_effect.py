@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The hot-page effect, built from the public API (paper Section 3.1).
+
+Constructs a custom workload whose hot data fits in three 2MB pages —
+fewer hot pages than NUMA nodes — and shows:
+
+1. at 4KB pages the hot data spreads across all controllers (balanced);
+2. THP coalesces it onto <= 3 nodes (imbalance, latency blow-up);
+3. migration/interleaving at 2MB granularity cannot fix it
+   (3 pages cannot cover 8 nodes);
+4. splitting + interleaving the constituent 4KB pages fixes it.
+
+Run:  python examples/hot_page_effect.py
+"""
+
+from repro.hardware.machines import machine_b
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.experiments.configs import make_policy
+from repro.workloads.base import CostProfile, WorkloadInstance
+from repro.workloads.common import reference_cost
+from repro.workloads.regions import HotRegion, PartitionedRegion
+
+MIB = 1024 * 1024
+
+
+def build_workload(machine):
+    """A CG-like kernel: one tiny, very hot array + private slabs."""
+    regions = [
+        HotRegion("hot-array", total_bytes=6 * MIB, access_share=0.45),
+        PartitionedRegion(
+            "private-slabs",
+            bytes_per_thread=16 * MIB,
+            access_share=0.55,
+            contiguous=True,
+        ),
+    ]
+    return WorkloadInstance(
+        "hot-page-demo",
+        machine,
+        regions,
+        cost=reference_cost(machine, rho=0.55, cpu_s=0.05),
+        total_epochs=16,
+    )
+
+
+def run(policy_name: str):
+    machine = machine_b()
+    config = SimConfig(stream_length=768, seed=0, ibs_rate=2e-4)
+    sim = Simulation(machine, build_workload(machine), make_policy(policy_name), config)
+    return sim.run()
+
+
+def main() -> None:
+    print(f"{'policy':14s} {'runtime':>9s} {'imbalance':>9s} "
+          f"{'hot pages':>9s} {'PAMUP':>6s} {'splits':>7s}")
+    for policy in ["linux-4k", "thp", "carrefour-2m", "carrefour-lp"]:
+        result = run(policy)
+        m = result.metrics()
+        print(
+            f"{policy:14s} {m.runtime_s:8.2f}s {m.imbalance_pct:8.0f}% "
+            f"{m.n_hot_pages:9d} {m.pamup_pct:5.1f}% {m.pages_split_2m:7d}"
+        )
+    print(
+        "\nUnder THP the 6MB hot array becomes 3 huge pages (NHP=3 < 8"
+        "\nnodes): no placement of 3 pages can balance 8 controllers."
+        "\nCarrefour-2M shuffles them in vain; Carrefour-LP detects pages"
+        "\nexceeding 6% of accesses, splits them, and interleaves the"
+        "\n4KB pieces round-robin — balance restored (paper Table 3:"
+        "\nimbalance 59% -> 3%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

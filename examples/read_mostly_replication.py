@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Page replication: Carrefour's third mechanism [Dashti et al., ASPLOS'13].
+
+A master-initialised, read-only lookup table (NAS EP's random tables,
+an in-memory dictionary, a model's weights...) is the worst case for
+first-touch placement — everything lands on one node — and even
+interleaving only balances it: 7 of 8 accesses stay remote.
+
+Replication places a copy on *every* node, so reads are always local.
+The catch is writes: the first store to a replicated page forces the
+replicas to collapse, which is why the policy only replicates pages
+whose samples contain no stores.  This example shows both sides.
+
+Run:  python examples/read_mostly_replication.py
+"""
+
+from repro.core.carrefour import CarrefourConfig, CarrefourPolicy
+from repro.hardware.machines import machine_b
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.common import reference_cost
+from repro.workloads.regions import PartitionedRegion, SharedRegion
+
+MIB = 1024 * 1024
+
+
+def build_workload(machine, table_write_fraction):
+    regions = [
+        SharedRegion(
+            "lookup-table",
+            total_bytes=256 * MIB,
+            access_share=0.85,
+            master_init=True,
+            write_fraction=table_write_fraction,
+            tlb_run_length=500.0,
+        ),
+        PartitionedRegion(
+            "private", bytes_per_thread=2 * MIB, access_share=0.15, contiguous=True
+        ),
+    ]
+    return WorkloadInstance(
+        "lookup-demo",
+        machine,
+        regions,
+        cost=reference_cost(machine, rho=0.45, cpu_s=0.08),
+        total_epochs=14,
+    )
+
+
+def run(machine, write_fraction, replication):
+    policy = CarrefourPolicy(
+        thp=True,
+        config=CarrefourConfig(replication_enabled=replication),
+        name="carrefour-2m" + ("" if replication else "-norepl"),
+    )
+    config = SimConfig(stream_length=768, seed=0, ibs_rate=2e-4)
+    sim = Simulation(machine, build_workload(machine, write_fraction), policy, config)
+    return sim.run()
+
+
+def main() -> None:
+    machine = machine_b()
+    print(f"{'table writes':>12s} {'replication':>11s} {'runtime':>9s} "
+          f"{'LAR*':>5s} {'replicated':>10s} {'collapsed':>9s}")
+    for write_fraction in (0.0, 0.10):
+        for replication in (False, True):
+            result = run(machine, write_fraction, replication)
+            m = result.metrics()
+            print(
+                f"{write_fraction:11.0%} {str(replication):>11s} "
+                f"{m.runtime_s:8.2f}s {result.steady_lar(0.5):4.0f}% "
+                f"{m.pages_replicated:10d} {m.replicas_collapsed:9d}"
+            )
+    print(
+        "\n(LAR* is steady-state: second half of the run.)"
+        "\nWith a read-only table, replication lifts the LAR to near"
+        "\n100% — interleaving alone cannot beat 1/n_nodes locality on"
+        "\nshared data.  Give the same table a 10% store ratio and the"
+        "\npolicy correctly backs off (few or no pages replicate; any"
+        "\nmistakes collapse on the first sampled write)."
+    )
+
+
+if __name__ == "__main__":
+    main()

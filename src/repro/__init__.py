@@ -1,0 +1,51 @@
+"""Reproduction of "Large Pages May Be Harmful on NUMA Systems" (USENIX ATC'14).
+
+The package is organised in layers:
+
+``repro.hardware``
+    NUMA machine model: topology, memory controllers, interconnect, TLBs,
+    caches, performance counters, and IBS-style access sampling.
+``repro.vm``
+    Simulated operating-system virtual memory: buddy frame allocator,
+    multi-size address spaces (4KB / 2MB / 1GB pages), transparent huge
+    pages, page faults, migration, splitting and promotion.
+``repro.sim``
+    The epoch-based execution engine that runs a workload on a machine
+    under a placement policy and produces runtime plus counters.
+``repro.workloads``
+    Synthetic models of the paper's 21 benchmarks (NAS, Metis, SSCA,
+    SPECjbb, PARSEC streamcluster).
+``repro.core``
+    The paper's contribution: Carrefour, Carrefour-2M and the
+    large-page extensions (Carrefour-LP) with its reactive and
+    conservative components.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the paper.
+"""
+
+from repro.hardware.machines import machine_a, machine_b, machine_by_name
+from repro.hardware.topology import NumaTopology
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.workloads.registry import available_workloads, get_workload
+from repro.experiments.configs import POLICIES, make_policy
+from repro.experiments.runner import run_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NumaTopology",
+    "machine_a",
+    "machine_b",
+    "machine_by_name",
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "available_workloads",
+    "get_workload",
+    "POLICIES",
+    "make_policy",
+    "run_benchmark",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Small shared helpers used across the package."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a deterministic 64-bit seed from arbitrary labelled parts.
+
+    Seeds must be stable across processes and Python versions (``hash()``
+    is salted), so we hash the repr of the parts with SHA-256.
+    """
+    text = "\x1f".join(repr(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def rng_for(*parts: object) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` seeded deterministically from parts."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+def as_int_array(values: Iterable[int]) -> np.ndarray:
+    """Coerce an iterable of indices to a contiguous int64 array."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    return np.ascontiguousarray(arr)
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def pct(value: float) -> str:
+    """Format a ratio-as-percent value for report tables."""
+    return f"{value:.1f}%"
+
+
+def human_bytes(n: int) -> str:
+    """Render a byte count with a binary-unit suffix (e.g. ``1.5 GiB``)."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")

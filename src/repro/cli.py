@@ -1,0 +1,109 @@
+"""Command-line interface: regenerate paper artifacts or run one benchmark.
+
+Examples::
+
+    repro list
+    repro figure1 --quick
+    repro table2 --scale 0.5
+    repro run CG.D --machine B --policy carrefour-lp --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.experiments.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.runner import RunSettings, run_benchmark
+from repro.sim.config import SimConfig
+from repro.workloads.registry import available_workloads
+
+
+def _settings_from_args(args: argparse.Namespace) -> RunSettings:
+    if args.quick:
+        settings = RunSettings.quick(seed=args.seed)
+    else:
+        settings = RunSettings(config=SimConfig(seed=args.seed), seed=args.seed)
+    if args.scale is not None:
+        settings = RunSettings(
+            config=replace(settings.config, scale=args.scale), seed=args.seed
+        )
+    return settings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Large Pages May Be Harmful on NUMA Systems'"
+            " (USENIX ATC'14)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list experiments and benchmarks")
+
+    for name in EXPERIMENTS:
+        exp = sub.add_parser(name, help=f"regenerate {name}")
+        exp.add_argument("--quick", action="store_true", help="reduced scale")
+        exp.add_argument("--scale", type=float, default=None)
+        exp.add_argument("--seed", type=int, default=0)
+
+    run_cmd = sub.add_parser("run", help="run one benchmark/policy combo")
+    run_cmd.add_argument("workload")
+    run_cmd.add_argument("--machine", default="A", choices=["A", "B"])
+    run_cmd.add_argument("--policy", default="thp")
+    run_cmd.add_argument("--backing-1g", action="store_true")
+    run_cmd.add_argument("--quick", action="store_true")
+    run_cmd.add_argument("--scale", type=float, default=None)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("benchmarks:")
+        for name in available_workloads():
+            print(f"  {name}")
+        return 0
+
+    if args.command == "run":
+        settings = _settings_from_args(args)
+        result = run_benchmark(
+            args.workload,
+            args.machine,
+            args.policy,
+            settings,
+            backing_1g=args.backing_1g,
+        )
+        m = result.metrics()
+        print(result.describe())
+        print(
+            f"  runtime={m.runtime_s:.3f}s fault={m.fault_time_total_s * 1e3:.0f}ms"
+            f" (max {m.max_fault_pct:.1f}%) L2walk={m.pct_l2_walk:.1f}%"
+        )
+        if m.pamup_pct is not None:
+            print(
+                f"  PAMUP={m.pamup_pct:.1f}% NHP={m.n_hot_pages} PSP={m.psp_pct:.0f}%"
+            )
+        print(f"  pages: {m.final_page_counts}")
+        return 0
+
+    settings = _settings_from_args(args)
+    report = run_experiment(args.command, settings)
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""The Carrefour placement engine [Dashti et al., ASPLOS'13].
+
+Carrefour gathers per-page access samples and chooses a host node per
+page: pages sampled from a single node migrate to that node; pages
+sampled from several nodes are *interleaved* (migrated to a random
+node).  Global hardware-counter thresholds gate the whole mechanism so
+it only acts when a NUMA problem exists (low LAR or high controller
+imbalance on a memory-intensive application).
+
+Run over 2MB-backed memory this is the paper's **Carrefour-2M**; the
+same engine at 4KB granularity is the original Carrefour.  The engine
+is deliberately size-agnostic: it acts on whatever backing pages the
+address space currently has, which is what lets Carrefour-LP reuse it
+after splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.errors import ConfigurationError
+from repro.hardware.counters import CounterBank
+from repro.hardware.ibs import IbsSamples
+from repro.core.metrics import PageSampleTable
+from repro.sim.policy import PlacementPolicy, PolicyActionSummary
+from repro.vm.address_space import AddressSpace, BACKING_ID_2M_OFFSET
+from repro.vm.layout import PAGE_2M, PAGE_4K, PageSize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class CarrefourConfig:
+    """Thresholds and budgets for the Carrefour engine.
+
+    The enable thresholds follow the Carrefour paper: act only on
+    memory-intensive applications (MAPTU above a floor) that show a
+    NUMA problem (LAR below ``lar_threshold_pct`` or imbalance above
+    ``imbalance_threshold_pct``).  The migration budget rate-limits how
+    much memory moves per 1-second interval, modelling the kernel's
+    bounded migration throughput.
+    """
+
+    min_maptu: float = 50.0
+    lar_threshold_pct: float = 80.0
+    imbalance_threshold_pct: float = 35.0
+    min_samples_per_page: int = 1
+    max_migration_bytes_per_interval: int = 512 * 1024 * 1024
+    #: Daemon compute cost per processed sample (decision-making).
+    compute_s_per_sample: float = 2e-7
+    #: Carrefour's third mechanism [Dashti'13]: replicate read-mostly
+    #: shared pages onto every node instead of interleaving them.
+    replication_enabled: bool = True
+    #: Samples a page needs, all of them loads, before it is considered
+    #: safely read-only.
+    replication_min_samples: int = 6
+    #: Leave replication off when free memory is scarce (fraction of
+    #: total DRAM that must remain free).
+    replication_min_free_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_samples_per_page < 1:
+            raise ConfigurationError("min_samples_per_page must be >= 1")
+        if self.max_migration_bytes_per_interval < 0:
+            raise ConfigurationError("migration budget must be non-negative")
+
+
+class CarrefourEngine:
+    """Stateful Carrefour placement over an address space."""
+
+    def __init__(self, config: Optional[CarrefourConfig] = None, seed: int = 0) -> None:
+        self.config = config or CarrefourConfig()
+        self._rng = rng_for(seed, "carrefour")
+        #: Pages already interleaved; not re-randomised every interval
+        #: (avoids ping-pong).
+        self._interleaved: Set[int] = set()
+
+    def should_engage(self, window: CounterBank) -> bool:
+        """Global enable decision from the interval's hardware counters."""
+        cfg = self.config
+        if window.maptu() < cfg.min_maptu:
+            return False
+        return (
+            window.lar() < cfg.lar_threshold_pct
+            or window.imbalance() > cfg.imbalance_threshold_pct
+        )
+
+    def place(
+        self,
+        table: PageSampleTable,
+        address_space: AddressSpace,
+        n_nodes: int,
+    ) -> PolicyActionSummary:
+        """Apply the migrate/interleave rule to every sampled page."""
+        cfg = self.config
+        summary = PolicyActionSummary()
+        summary.compute_s = table.n_samples * cfg.compute_s_per_sample
+        if table.ids.size == 0:
+            return summary
+        totals = table.totals
+        eligible = totals >= cfg.min_samples_per_page
+        # Hottest pages first: under a finite budget, moving them pays most.
+        order = np.argsort(-totals)
+        order = order[eligible[order]]
+        single = table.single_node_mask()
+        dominant = table.dominant_nodes()
+        read_only = table.read_only_mask()
+        replication_ok = cfg.replication_enabled and self._memory_headroom(
+            address_space
+        )
+        replication_candidates: list = []
+        budget = cfg.max_migration_bytes_per_interval
+        for idx in order:
+            if budget <= 0:
+                summary.notes.append("migration budget exhausted")
+                break
+            page_id = int(table.ids[idx])
+            if not address_space.backing_is_live(page_id):
+                # Sampled before a split/collapse changed the backing.
+                continue
+            if single[idx]:
+                target = int(dominant[idx])
+                self._interleaved.discard(page_id)
+            else:
+                # Shared page.  Read-mostly pages with enough evidence
+                # are *candidates* for replication, but balance comes
+                # first: they are interleaved now (one cheap migration)
+                # and upgraded to per-node replicas with whatever budget
+                # remains after this pass — otherwise a single interval
+                # of expensive copies would leave the hot node standing.
+                if (
+                    replication_ok
+                    and read_only[idx]
+                    and totals[idx] >= cfg.replication_min_samples
+                ):
+                    replication_candidates.append(page_id)
+                if page_id in self._interleaved:
+                    continue
+                target = int(self._rng.integers(0, n_nodes))
+                self._interleaved.add(page_id)
+            moved = address_space.migrate_backing(page_id, target)
+            if moved == 0:
+                continue
+            budget -= moved
+            summary.bytes_migrated += moved
+            if moved == PAGE_4K:
+                summary.migrated_4k += 1
+            elif moved == PAGE_2M:
+                summary.migrated_2m += 1
+
+        # Second pass: spend leftover budget upgrading read-mostly
+        # shared pages to replicas (hottest first, as ordered above).
+        for page_id in replication_candidates:
+            if budget <= 0:
+                summary.notes.append("replication deferred (budget)")
+                break
+            if not address_space.backing_is_live(page_id):
+                continue
+            copied = address_space.replicate_backing(page_id)
+            if copied:
+                budget -= copied
+                summary.bytes_replicated += copied
+                summary.replicated_pages += 1
+                self._interleaved.discard(page_id)
+        return summary
+
+    def _memory_headroom(self, address_space: AddressSpace) -> bool:
+        """Whether free memory permits replication (Carrefour's gate)."""
+        phys = address_space.phys
+        total = phys.total_free_bytes + phys.total_used_bytes
+        if total <= 0:
+            return False
+        return (
+            phys.total_free_bytes / total
+            > self.config.replication_min_free_fraction
+        )
+
+    def forget_page(self, page_id: int) -> None:
+        """Drop interleave history for a page (e.g. after splitting it)."""
+        self._interleaved.discard(page_id)
+
+
+class CarrefourPolicy(PlacementPolicy):
+    """Pure Carrefour as a placement policy.
+
+    ``thp=True`` gives the paper's Carrefour-2M (Linux THP plus
+    Carrefour migration/interleaving of whatever pages exist, including
+    2MB ones); ``thp=False`` gives the original Carrefour on 4KB pages.
+    """
+
+    interval_s = 1.0
+
+    def __init__(
+        self,
+        thp: bool,
+        config: Optional[CarrefourConfig] = None,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.thp = thp
+        self.engine = CarrefourEngine(config, seed=seed)
+        self.name = name or ("carrefour-2m" if thp else "carrefour-4k")
+
+    def setup(self, sim: "Simulation") -> None:
+        if self.thp:
+            sim.thp.enable_alloc()
+            sim.thp.enable_promotion()
+        else:
+            sim.thp.disable_alloc()
+            sim.thp.disable_promotion()
+
+    def on_interval(
+        self, sim: "Simulation", samples: IbsSamples, window: CounterBank
+    ) -> PolicyActionSummary:
+        if not self.engine.should_engage(window):
+            summary = PolicyActionSummary()
+            summary.notes.append("carrefour disabled (thresholds)")
+            return summary
+        table = PageSampleTable.from_samples(
+            samples, sim.asp, sim.machine.n_nodes, granularity="backing"
+        )
+        return self.engine.place(table, sim.asp, sim.machine.n_nodes)
+
+
+def split_backing_page(
+    address_space: AddressSpace, page_id: int, block_collapse: bool = True
+) -> int:
+    """Split one 2MB or 1GB backing page into 4KB pages.
+
+    Returns the number of 2MB-equivalents split (1 for a 2MB page, 512
+    for a 1GB page) for cost accounting; 0 when the id names a 4KB page.
+
+    With ``block_collapse`` (the default for policy-driven splits) the
+    demoted range is madvised NOHUGEPAGE so khugepaged does not
+    immediately undo the decision; the conservative component clears
+    the marks when it re-enables promotion.
+    """
+    kind = AddressSpace.backing_id_kind(page_id)
+    if kind is PageSize.SIZE_4K:
+        return 0
+    if kind is PageSize.SIZE_2M:
+        chunk = page_id - BACKING_ID_2M_OFFSET
+        address_space.split_chunk(chunk)
+        if block_collapse:
+            address_space.block_collapse(chunk)
+        return 1
+    from repro.vm.address_space import BACKING_ID_1G_OFFSET
+    from repro.vm.layout import CHUNKS_2M_PER_1G
+
+    gchunk = page_id - BACKING_ID_1G_OFFSET
+    address_space.split_gchunk(gchunk)
+    if block_collapse:
+        base = gchunk * CHUNKS_2M_PER_1G
+        for chunk in range(base, base + CHUNKS_2M_PER_1G):
+            address_space.block_collapse(chunk)
+    return 512

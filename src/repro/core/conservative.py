@@ -1,0 +1,76 @@
+"""The conservative component of Carrefour-LP (paper Section 3.2.2).
+
+Its job is to *re-enable* large pages once monitoring shows they would
+help, using two criteria (Algorithm 1, lines 4-9):
+
+* if the fraction of L2 cache misses caused by page-table walks
+  exceeds 5%, enable both 2MB allocation and 2MB promotion — the
+  application is TLB-bound and memory-intensive enough that walk
+  misses dominate;
+* otherwise, if the *maximum* per-core share of time spent in the
+  page-fault handler exceeds 5%, enable 2MB allocation only ("there is
+  little benefit in promoting the pages on which we had already paid
+  the cost of page faults").
+
+The maximum (not average) per-core fault share is used because
+page-table lock contention is set by the slowest core holding the lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hardware.counters import CounterBank
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class ConservativeConfig:
+    """Thresholds of the conservative component (both 5% in the paper)."""
+
+    walk_l2_threshold_pct: float = 5.0
+    fault_time_threshold_pct: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.walk_l2_threshold_pct < 0 or self.fault_time_threshold_pct < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+
+
+@dataclass
+class ConservativeDecision:
+    """What the component decided this interval (for logging)."""
+
+    enabled_alloc: bool = False
+    enabled_promotion: bool = False
+    walk_l2_pct: float = 0.0
+    max_fault_pct: float = 0.0
+
+
+class ConservativeComponent:
+    """Re-enables THP when counters show large pages would pay off."""
+
+    def __init__(self, config: ConservativeConfig = ConservativeConfig()) -> None:
+        self.config = config
+
+    def step(self, sim: "Simulation", window: CounterBank) -> ConservativeDecision:
+        """Algorithm 1 lines 4-9 for one monitoring interval."""
+        decision = ConservativeDecision(
+            walk_l2_pct=window.pct_l2_misses_from_walks(),
+            max_fault_pct=window.max_fault_time_fraction(),
+        )
+        if decision.walk_l2_pct > self.config.walk_l2_threshold_pct:
+            sim.thp.enable_alloc()
+            sim.thp.enable_promotion()
+            # Lift any MADV_NOHUGEPAGE marks left by earlier splits so
+            # khugepaged can actually re-create the large pages.
+            sim.asp.clear_collapse_blocks()
+            decision.enabled_alloc = True
+            decision.enabled_promotion = True
+        elif decision.max_fault_pct > self.config.fault_time_threshold_pct:
+            sim.thp.enable_alloc()
+            decision.enabled_alloc = True
+        return decision

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, workload or policy was configured inconsistently."""
+
+
+class AllocationError(ReproError):
+    """The physical frame allocator could not satisfy a request."""
+
+
+class MappingError(ReproError):
+    """An address-space operation violated a mapping invariant."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid state."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A benchmark name was not found in the workload registry."""
+
+
+class UnknownPolicyError(ReproError, KeyError):
+    """A policy name was not found in the policy registry."""

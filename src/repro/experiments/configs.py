@@ -1,0 +1,60 @@
+"""Policy registry: the placement configurations the paper evaluates."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import UnknownPolicyError
+from repro.core.autonuma import AutoNumaPolicy
+from repro.core.carrefour import CarrefourPolicy
+from repro.core.carrefour_lp import CarrefourLpPolicy
+from repro.sim.policy import LinuxPolicy, PlacementPolicy
+
+#: Factories for every policy configuration in the evaluation:
+#:
+#: ``linux-4k``
+#:     Default Linux with THP off — the paper's baseline ("Linux").
+#: ``thp``
+#:     Linux with transparent huge pages ("THP").
+#: ``carrefour-4k``
+#:     The original Carrefour on 4KB pages.
+#: ``carrefour-2m``
+#:     Carrefour run in the THP kernel ("Carrefour-2M").
+#: ``carrefour-lp``
+#:     Algorithm 1: Carrefour-2M + reactive + conservative.
+#: ``reactive-only``
+#:     Carrefour-2M plus the reactive component (Figure 4 ablation).
+#: ``conservative-only``
+#:     4KB Carrefour plus the conservative component (Figure 4 ablation).
+#: ``carrefour-lp-lwp``
+#:     Carrefour-LP with LWP-style ring-buffered sampling — the fix the
+#:     paper proposes for the reactive component's LAR misestimation
+#:     (Section 4.1/4.3), implemented here as an extension experiment.
+#: ``autonuma`` / ``autonuma-4k``
+#:     Linux NUMA balancing (hint-fault migrate-to-accessor) with THP
+#:     on/off — the mainline alternative, which cannot split pages.
+POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
+    "linux-4k": lambda seed: LinuxPolicy(thp=False),
+    "thp": lambda seed: LinuxPolicy(thp=True),
+    "carrefour-4k": lambda seed: CarrefourPolicy(thp=False, seed=seed),
+    "carrefour-2m": lambda seed: CarrefourPolicy(thp=True, seed=seed),
+    "carrefour-lp": lambda seed: CarrefourLpPolicy(seed=seed),
+    "reactive-only": lambda seed: CarrefourLpPolicy(conservative=False, seed=seed),
+    "conservative-only": lambda seed: CarrefourLpPolicy(reactive=False, seed=seed),
+    "carrefour-lp-lwp": lambda seed: CarrefourLpPolicy(seed=seed, lwp=True),
+    "autonuma": lambda seed: AutoNumaPolicy(thp=True),
+    "autonuma-4k": lambda seed: AutoNumaPolicy(thp=False),
+    "interleave-4k": lambda seed: LinuxPolicy(thp=False, interleave=True),
+    "interleave-thp": lambda seed: LinuxPolicy(thp=True, interleave=True),
+}
+
+
+def make_policy(name: str, seed: int = 0) -> PlacementPolicy:
+    """Instantiate a policy configuration by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return factory(seed)

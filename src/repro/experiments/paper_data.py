@@ -1,0 +1,260 @@
+"""The paper's published numbers, as structured data.
+
+Everything the paper reports numerically is transcribed here so the
+validation harness (:mod:`repro.experiments.validation`) can compare
+measured values against it claim by claim, and so ``EXPERIMENTS.md``
+can be regenerated mechanically.
+
+Sources:
+
+* Table 1 — detailed analysis of five applications (exact values).
+* Table 2 — PAMUP / NHP / PSP / imbalance / LAR on machine A (exact).
+* Table 3 — LAR and imbalance for CG.D(B), UA.B(A), UA.C(B) (exact).
+* Figures 1-5 — bar charts; only the values the paper calls out
+  numerically (off-scale labels and prose) are exact, the rest are
+  approximate bar readings and are marked as such.
+* Section 4.4 — 1GB-page results (prose: SSCA -34%, streamcluster ~4x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+# ----------------------------------------------------------------------
+# Table 1: Linux (4KB) vs THP (2MB) profiles.
+# fault_ms: time spent in page fault handler; fault_pct: % of total time;
+# l2walk: % L2 misses due to page-table walks; lar/imbalance in %.
+# ----------------------------------------------------------------------
+TABLE1 = {
+    "CG.D@B": {
+        "perf_improvement": -43.0,
+        "fault_ms": {"linux": 2182.0, "thp": 445.0},
+        "fault_pct": {"linux": 0.1, "thp": 0.0},
+        "l2walk": {"linux": 0.0, "thp": 0.0},
+        "lar": {"linux": 40.0, "thp": 36.0},
+        "imbalance": {"linux": 1.0, "thp": 59.0},
+    },
+    "UA.C@B": {
+        "perf_improvement": -15.0,
+        "fault_ms": {"linux": 102.0, "thp": 53.0},
+        "fault_pct": {"linux": 0.2, "thp": 0.1},
+        "l2walk": {"linux": 0.0, "thp": 0.0},
+        "lar": {"linux": 88.0, "thp": 66.0},
+        "imbalance": {"linux": 14.0, "thp": 12.0},
+    },
+    "WC@B": {
+        "perf_improvement": 109.0,
+        "fault_ms": {"linux": 8731.0, "thp": 3682.0},
+        "fault_pct": {"linux": 37.6, "thp": 32.3},
+        "l2walk": {"linux": 10.0, "thp": 1.0},
+        "lar": {"linux": 50.0, "thp": 55.0},
+        "imbalance": {"linux": 147.0, "thp": 136.0},
+    },
+    "SSCA.20@A": {
+        "perf_improvement": 17.0,
+        "fault_ms": {"linux": 90.0, "thp": 147.0},
+        "fault_pct": {"linux": 0.0, "thp": 0.1},
+        "l2walk": {"linux": 15.0, "thp": 2.0},
+        "lar": {"linux": 25.0, "thp": 26.0},
+        "imbalance": {"linux": 8.0, "thp": 52.0},
+    },
+    "SPECjbb@A": {
+        "perf_improvement": -6.0,
+        "fault_ms": {"linux": 8369.0, "thp": 5905.0},
+        "fault_pct": {"linux": 2.1, "thp": 1.5},
+        "l2walk": {"linux": 7.0, "thp": 0.0},
+        "lar": {"linux": 12.0, "thp": 15.0},
+        "imbalance": {"linux": 16.0, "thp": 39.0},
+    },
+}
+
+# ----------------------------------------------------------------------
+# Table 2: hot-page and sharing metrics on machine A (24 cores).
+# ----------------------------------------------------------------------
+TABLE2 = {
+    "SPECjbb": {
+        "pamup": {"linux-4k": 2.0, "thp": 6.0, "carrefour-2m": 6.0},
+        "nhp": {"linux-4k": 0, "thp": 0, "carrefour-2m": 0},
+        "psp": {"linux-4k": 10.0, "thp": 36.0, "carrefour-2m": 36.0},
+        "imbalance": {"linux-4k": 16.0, "thp": 39.0, "carrefour-2m": 19.0},
+        "lar": {"linux-4k": 26.0, "thp": 28.0, "carrefour-2m": 27.0},
+    },
+    "CG.D": {
+        "pamup": {"linux-4k": 0.0, "thp": 8.0, "carrefour-2m": 8.0},
+        "nhp": {"linux-4k": 0, "thp": 3, "carrefour-2m": 3},
+        "psp": {"linux-4k": 18.0, "thp": 34.0, "carrefour-2m": 34.0},
+        "imbalance": {"linux-4k": 0.0, "thp": 20.0, "carrefour-2m": 20.0},
+        "lar": {"linux-4k": 45.0, "thp": 45.0, "carrefour-2m": 45.0},
+    },
+    "UA.B": {
+        "pamup": {"linux-4k": 6.0, "thp": 6.0, "carrefour-2m": 6.0},
+        "nhp": {"linux-4k": 0, "thp": 0, "carrefour-2m": 0},
+        "psp": {"linux-4k": 16.0, "thp": 70.0, "carrefour-2m": 70.0},
+        "imbalance": {"linux-4k": 9.0, "thp": 15.0, "carrefour-2m": 17.0},
+        "lar": {"linux-4k": 90.0, "thp": 61.0, "carrefour-2m": 58.0},
+    },
+}
+
+# ----------------------------------------------------------------------
+# Table 3: LAR and imbalance under all four policies.
+# ----------------------------------------------------------------------
+TABLE3 = {
+    "CG.D@B": {
+        "lar": {"linux-4k": 40, "thp": 36, "carrefour-2m": 38, "carrefour-lp": 39},
+        "imbalance": {"linux-4k": 1, "thp": 59, "carrefour-2m": 69, "carrefour-lp": 3},
+    },
+    "UA.B@A": {
+        "lar": {"linux-4k": 90, "thp": 61, "carrefour-2m": 58, "carrefour-lp": 85},
+        "imbalance": {"linux-4k": 9, "thp": 15, "carrefour-2m": 17, "carrefour-lp": 10},
+    },
+    "UA.C@B": {
+        "lar": {"linux-4k": 88, "thp": 66, "carrefour-2m": 68, "carrefour-lp": 82},
+        "imbalance": {"linux-4k": 14, "thp": 12, "carrefour-2m": 9, "carrefour-lp": 14},
+    },
+}
+
+# ----------------------------------------------------------------------
+# Figures: values the paper states numerically (off-scale labels and
+# prose); everything else in the figures is an approximate bar reading.
+# ----------------------------------------------------------------------
+FIGURE1_CALLOUTS = {
+    ("CG.D", "B"): -43.0,
+    ("WC", "B"): 109.0,
+    ("WR", "B"): 70.0,
+    ("wrmem", "B"): 51.0,
+    ("SSCA.20", "A"): 17.0,
+    ("SPECjbb", "A"): -6.0,
+    ("UA.C", "B"): -15.0,
+}
+
+#: Section 4.4 results (prose).
+VERYLARGE = {
+    "SSCA.20": {"degradation_pct": -34.0},
+    "streamcluster": {"slowdown_factor": 4.0},
+}
+
+#: Section 4.2 overhead statements.
+OVERHEAD = {
+    "vs_reactive_typical_pct": 2.0,
+    "vs_reactive_worst_pct": 3.2,
+    "vs_carrefour2m_average_pct": 2.0,
+    "vs_carrefour2m_worst_pct": 3.7,
+    "vs_linux_typical_pct": 3.0,
+}
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable claim from the paper.
+
+    ``claim_id`` ties the claim to a section/table/figure; the actual
+    check lives in :mod:`repro.experiments.validation`.
+    """
+
+    claim_id: str
+    source: str
+    statement: str
+    paper_value: Optional[str] = None
+
+
+CLAIMS = [
+    Claim(
+        "thp-not-universal",
+        "Figure 1",
+        "THP improves some applications and degrades others: there is no"
+        " 'one size fits all'.",
+        "from +109% (WC@B) to -43% (CG.D@B)",
+    ),
+    Claim(
+        "cg-imbalance",
+        "Table 1",
+        "With CG and 4KB pages the memory-controller load is almost"
+        " perfectly balanced; with 2MB pages it becomes badly imbalanced.",
+        "imbalance 1% -> 59% on machine B",
+    ),
+    Claim(
+        "ua-lar-drop",
+        "Table 1",
+        "UA's local access ratio decreases when large pages are used.",
+        "LAR 88% -> 66% (UA.C on B)",
+    ),
+    Claim(
+        "wc-fault-bound",
+        "Table 1",
+        "WC spends a large share of its time in the page-fault handler at"
+        " 4KB, and THP cuts the handler time dramatically.",
+        "8731ms (37.6%) -> 3682ms",
+    ),
+    Claim(
+        "ssca-tlb-bound",
+        "Table 1",
+        "SSCA's share of L2 misses caused by page-table walks collapses"
+        " under THP.",
+        "15% -> 2% on machine A",
+    ),
+    Claim(
+        "specjbb-masked",
+        "Table 1",
+        "SPECjbb's TLB benefit under THP is masked by rising controller"
+        " imbalance.",
+        "walks 7% -> 0%, imbalance 16% -> 39%",
+    ),
+    Claim(
+        "cg-hot-pages",
+        "Table 2",
+        "Large pages coalesce CG's hot regions into a small number of hot"
+        " pages — fewer than NUMA nodes — which migration cannot balance.",
+        "NHP 0 -> 3, PAMUP 0% -> 8%",
+    ),
+    Claim(
+        "ua-false-sharing",
+        "Table 2",
+        "UA's share of accesses to pages used by several threads explodes"
+        " under THP (page-level false sharing).",
+        "PSP 16% -> 70%",
+    ),
+    Claim(
+        "carrefour2m-partial",
+        "Figure 2",
+        "Carrefour-2M fixes SPECjbb's imbalance but fails on CG (hot"
+        " pages) and UA (false sharing).",
+        "SPECjbb imbalance 39% -> 19%; CG/UA unrecovered",
+    ),
+    Claim(
+        "lp-restores",
+        "Figure 3 / Table 3",
+        "Carrefour-LP restores the performance of CG.D, UA.B and UA.C and"
+        " their NUMA metrics (CG balance, UA locality).",
+        "CG imbalance -> 3%; UA.B LAR -> 85%",
+    ),
+    Claim(
+        "conservative-too-late",
+        "Figure 4",
+        "The conservative component alone enables large pages too late"
+        " for allocation-intensive startup phases.",
+        "e.g. WC under conservative-only",
+    ),
+    Claim(
+        "reactive-missplit",
+        "Figure 4 / Section 4.1",
+        "The reactive component alone sometimes splits pages based on a"
+        " misestimated LAR (sparse samples), losing THP's benefit on"
+        " SSCA; the conservative component re-creates the pages.",
+        "predicted split-LAR 59% vs actual 25%",
+    ),
+    Claim(
+        "lp-harmless",
+        "Figure 5",
+        "Carrefour-LP does not significantly hurt applications without"
+        " THP-induced NUMA issues, and helps those with pre-existing"
+        " NUMA problems (EP, SP, pca).",
+    ),
+    Claim(
+        "verylarge-pervasive",
+        "Section 4.4",
+        "With 1GB pages, hot-page and false-sharing effects appear"
+        " immediately and performance drops dramatically.",
+        "SSCA -34%; streamcluster ~4x",
+    ),
+]

@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment reports (tables and bar charts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Report:
+    """One regenerated paper artifact: a titled table plus commentary."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: List[str] = field(default_factory=list)
+    #: Raw numeric payload for programmatic consumers (tests, benches).
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Monospace rendering of the report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(cells) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_bars(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    limit: Optional[float] = None,
+) -> str:
+    """ASCII horizontal bar chart for figure-style data.
+
+    Each label gets one bar per series; values are percentages and may
+    be negative (bars extend left of the axis).
+    """
+    values = [v for vs in series.values() for v in vs]
+    if not values:
+        return "(no data)"
+    span = limit if limit is not None else max(1.0, max(abs(v) for v in values))
+    half = width // 2
+    lines = []
+    label_w = max(len(l) for l in labels)
+    series_w = max(len(s) for s in series)
+    for i, label in enumerate(labels):
+        for s_name, vs in series.items():
+            v = vs[i]
+            n = min(half, max(-half, round(v / span * half)))
+            if n >= 0:
+                bar = " " * half + "|" + "#" * n + " " * (half - n)
+            else:
+                bar = " " * (half + n) + "#" * (-n) + "|" + " " * half
+            lines.append(
+                f"{label.rjust(label_w)} {s_name.rjust(series_w)} {bar} {v:+7.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

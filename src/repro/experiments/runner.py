@@ -1,0 +1,112 @@
+"""Run (benchmark, machine, policy) combinations and cache the results.
+
+Many experiments share runs — Figures 1-5 all reference the same
+Linux and THP baselines — so results are memoised per settings key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.hardware.machines import machine_by_name
+from repro.hardware.topology import NumaTopology
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.experiments.configs import make_policy
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Knobs shared by all runs of one experiment batch."""
+
+    config: SimConfig = field(default_factory=SimConfig)
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "RunSettings":
+        """Reduced-cost settings for tests/benchmarks."""
+        return cls(config=SimConfig.quick(seed=seed), seed=seed)
+
+    def cache_key(
+        self, workload: str, machine: str, policy: str, backing_1g: bool
+    ) -> Tuple:
+        cfg = self.config
+        return (
+            workload,
+            machine,
+            policy,
+            backing_1g,
+            cfg.scale,
+            cfg.stream_length,
+            cfg.ibs_rate,
+            cfg.epoch_s,
+            self.seed,
+        )
+
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised run results."""
+    _CACHE.clear()
+
+
+def run_benchmark(
+    workload: str,
+    machine: Union[str, NumaTopology] = "A",
+    policy: str = "thp",
+    settings: Optional[RunSettings] = None,
+    backing_1g: bool = False,
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Run one benchmark under one policy on one machine.
+
+    ``backing_1g`` backs the workload with 1GB hugetlbfs-style pages
+    (Section 4.4); it composes with any policy.
+    """
+    settings = settings or RunSettings()
+    topo = machine_by_name(machine) if isinstance(machine, str) else machine
+    key = settings.cache_key(workload, topo.name, policy, backing_1g)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    wl = get_workload(workload)
+    instance = wl.instantiate(topo, settings.config.scale, settings.seed)
+    if backing_1g:
+        instance = instance.with_1g_backing()
+    sim = Simulation(
+        topo,
+        instance,
+        make_policy(policy, seed=settings.seed),
+        config=settings.config,
+    )
+    result = sim.run()
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def improvement(
+    workload: str,
+    machine: Union[str, NumaTopology],
+    policy: str,
+    baseline: str = "linux-4k",
+    settings: Optional[RunSettings] = None,
+    backing_1g: bool = False,
+    baseline_backing_1g: bool = False,
+) -> float:
+    """Percent performance improvement of ``policy`` over ``baseline``.
+
+    Matches the paper's figures: positive means the policy runs faster
+    than the baseline on the same workload and machine.
+    """
+    result = run_benchmark(
+        workload, machine, policy, settings, backing_1g=backing_1g
+    )
+    base = run_benchmark(
+        workload, machine, baseline, settings, backing_1g=baseline_backing_1g
+    )
+    return result.improvement_over(base)

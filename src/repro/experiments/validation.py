@@ -1,0 +1,236 @@
+"""Claim-by-claim validation of the reproduction against the paper.
+
+Every qualitative claim listed in
+:data:`repro.experiments.paper_data.CLAIMS` has a check here that runs
+the relevant simulations and decides PASS/FAIL, reporting the measured
+values next to the paper's.  ``repro.cli validate`` prints the result;
+``generate_experiments_md`` renders the full paper-vs-measured document
+(checked in as ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import paper_data
+from repro.experiments.reporting import Report
+from repro.experiments.runner import RunSettings, run_benchmark
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of one claim check."""
+
+    claim_id: str
+    passed: bool
+    measured: str
+    paper: Optional[str]
+    statement: str
+
+
+def _imp(workload: str, machine: str, policy: str, settings: RunSettings) -> float:
+    base = run_benchmark(workload, machine, "linux-4k", settings)
+    return run_benchmark(workload, machine, policy, settings).improvement_over(base)
+
+
+def _metrics(workload: str, machine: str, policy: str, settings: RunSettings):
+    return run_benchmark(workload, machine, policy, settings).metrics()
+
+
+# ----------------------------------------------------------------------
+# Individual claim checks.  Each returns (passed, measured_description).
+# ----------------------------------------------------------------------
+
+def _check_thp_not_universal(s: RunSettings) -> Tuple[bool, str]:
+    wins = _imp("WC", "B", "thp", s)
+    loses = _imp("CG.D", "B", "thp", s)
+    return wins > 20 and loses < -15, (
+        f"WC@B {wins:+.1f}%, CG.D@B {loses:+.1f}%"
+    )
+
+
+def _check_cg_imbalance(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("CG.D", "B", "linux-4k", s).imbalance_pct
+    thp = _metrics("CG.D", "B", "thp", s).imbalance_pct
+    return base < 10 and thp > 40, f"imbalance {base:.0f}% -> {thp:.0f}%"
+
+
+def _check_ua_lar_drop(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("UA.C", "B", "linux-4k", s).lar_pct
+    thp = _metrics("UA.C", "B", "thp", s).lar_pct
+    return thp < base - 15, f"LAR {base:.0f}% -> {thp:.0f}%"
+
+
+def _check_wc_fault_bound(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("WC", "B", "linux-4k", s)
+    thp = _metrics("WC", "B", "thp", s)
+    return (
+        base.max_fault_pct > 20 and thp.fault_time_total_s < base.fault_time_total_s / 2,
+        f"fault {base.fault_time_total_s*1e3:.0f}ms ({base.max_fault_pct:.0f}%)"
+        f" -> {thp.fault_time_total_s*1e3:.0f}ms",
+    )
+
+
+def _check_ssca_tlb_bound(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("SSCA.20", "A", "linux-4k", s).pct_l2_walk
+    thp = _metrics("SSCA.20", "A", "thp", s).pct_l2_walk
+    return base > 8 and thp < 2, f"L2-from-walks {base:.0f}% -> {thp:.0f}%"
+
+
+def _check_specjbb_masked(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("SPECjbb", "A", "linux-4k", s)
+    thp = _metrics("SPECjbb", "A", "thp", s)
+    imp = _imp("SPECjbb", "A", "thp", s)
+    return (
+        base.pct_l2_walk > 2
+        and thp.imbalance_pct > base.imbalance_pct + 10
+        and imp < 8,
+        f"walks {base.pct_l2_walk:.0f}% -> {thp.pct_l2_walk:.0f}%, imbalance"
+        f" {base.imbalance_pct:.0f}% -> {thp.imbalance_pct:.0f}%, perf {imp:+.1f}%",
+    )
+
+
+def _check_cg_hot_pages(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("CG.D", "B", "linux-4k", s)
+    thp = _metrics("CG.D", "B", "thp", s)
+    return (
+        base.n_hot_pages == 0 and 2 <= thp.n_hot_pages <= 4 and thp.pamup_pct > 5,
+        f"NHP {base.n_hot_pages} -> {thp.n_hot_pages},"
+        f" PAMUP {base.pamup_pct:.1f}% -> {thp.pamup_pct:.1f}%",
+    )
+
+
+def _check_ua_false_sharing(s: RunSettings) -> Tuple[bool, str]:
+    base = _metrics("UA.B", "A", "linux-4k", s).psp_pct
+    thp = _metrics("UA.B", "A", "thp", s).psp_pct
+    return thp > base + 30, f"PSP {base:.0f}% -> {thp:.0f}%"
+
+
+def _check_carrefour2m_partial(s: RunSettings) -> Tuple[bool, str]:
+    jbb_thp = _metrics("SPECjbb", "A", "thp", s).imbalance_pct
+    jbb_carr = _metrics("SPECjbb", "A", "carrefour-2m", s).imbalance_pct
+    cg = _imp("CG.D", "B", "carrefour-2m", s)
+    ua = _imp("UA.B", "A", "carrefour-2m", s)
+    return (
+        jbb_carr < jbb_thp - 8 and cg < -20 and ua < -5,
+        f"SPECjbb imbalance {jbb_thp:.0f}% -> {jbb_carr:.0f}%;"
+        f" CG.D@B {cg:+.1f}%, UA.B@A {ua:+.1f}% (unrecovered)",
+    )
+
+
+def _check_lp_restores(s: RunSettings) -> Tuple[bool, str]:
+    cg_thp = _imp("CG.D", "B", "thp", s)
+    cg_lp = _imp("CG.D", "B", "carrefour-lp", s)
+    cg_imb = _metrics("CG.D", "B", "carrefour-lp", s).imbalance_pct
+    ua_lar_lp = _metrics("UA.B", "A", "carrefour-lp", s).lar_pct
+    ua_lar_thp = _metrics("UA.B", "A", "thp", s).lar_pct
+    return (
+        cg_lp > cg_thp + 15 and cg_imb < 25 and ua_lar_lp > ua_lar_thp + 5,
+        f"CG.D@B {cg_thp:+.1f}% -> {cg_lp:+.1f}% (imbalance {cg_imb:.0f}%);"
+        f" UA.B LAR {ua_lar_thp:.0f}% -> {ua_lar_lp:.0f}%",
+    )
+
+
+def _check_conservative_too_late(s: RunSettings) -> Tuple[bool, str]:
+    thp = _imp("WC", "B", "thp", s)
+    cons = _imp("WC", "B", "conservative-only", s)
+    return cons < thp - 15, f"WC@B: THP {thp:+.1f}% vs conservative-only {cons:+.1f}%"
+
+
+def _check_reactive_missplit(s: RunSettings) -> Tuple[bool, str]:
+    carr = _imp("SSCA.20", "A", "carrefour-2m", s)
+    reactive = _imp("SSCA.20", "A", "reactive-only", s)
+    lp = _imp("SSCA.20", "A", "carrefour-lp", s)
+    return (
+        reactive < carr - 5 and lp > reactive,
+        f"SSCA@A: carrefour-2m {carr:+.1f}%, reactive-only {reactive:+.1f}%,"
+        f" carrefour-lp {lp:+.1f}%",
+    )
+
+
+def _check_lp_harmless(s: RunSettings) -> Tuple[bool, str]:
+    neutral = {b: _imp(b, "A", "carrefour-lp", s) for b in ("Kmeans", "BT.B", "MG.D")}
+    pca = _imp("pca", "B", "carrefour-lp", s)
+    worst = min(neutral.values())
+    return (
+        worst > -8 and pca > 40,
+        f"worst neutral app {worst:+.1f}%; pca@B {pca:+.1f}%",
+    )
+
+
+def _check_verylarge(s: RunSettings) -> Tuple[bool, str]:
+    base = run_benchmark("streamcluster", "B", "linux-4k", s)
+    huge = run_benchmark("streamcluster", "B", "linux-4k", s, backing_1g=True)
+    ssca = _imp("SSCA.20", "B", "thp", s)  # warm cache; not asserted
+    ssca_1g = run_benchmark("SSCA.20", "B", "linux-4k", s, backing_1g=True)
+    ssca_base = run_benchmark("SSCA.20", "B", "linux-4k", s)
+    slowdown = huge.runtime_s / base.runtime_s
+    ssca_drop = ssca_1g.improvement_over(ssca_base)
+    return (
+        slowdown > 1.5 and ssca_drop < -15,
+        f"streamcluster x{slowdown:.2f}; SSCA {ssca_drop:+.1f}%",
+    )
+
+
+_CHECKS: Dict[str, Callable[[RunSettings], Tuple[bool, str]]] = {
+    "thp-not-universal": _check_thp_not_universal,
+    "cg-imbalance": _check_cg_imbalance,
+    "ua-lar-drop": _check_ua_lar_drop,
+    "wc-fault-bound": _check_wc_fault_bound,
+    "ssca-tlb-bound": _check_ssca_tlb_bound,
+    "specjbb-masked": _check_specjbb_masked,
+    "cg-hot-pages": _check_cg_hot_pages,
+    "ua-false-sharing": _check_ua_false_sharing,
+    "carrefour2m-partial": _check_carrefour2m_partial,
+    "lp-restores": _check_lp_restores,
+    "conservative-too-late": _check_conservative_too_late,
+    "reactive-missplit": _check_reactive_missplit,
+    "lp-harmless": _check_lp_harmless,
+    "verylarge-pervasive": _check_verylarge,
+}
+
+
+def validate_claims(settings: Optional[RunSettings] = None) -> List[ClaimResult]:
+    """Run every claim check; returns one result per claim."""
+    settings = settings or RunSettings()
+    results = []
+    for claim in paper_data.CLAIMS:
+        check = _CHECKS[claim.claim_id]
+        passed, measured = check(settings)
+        results.append(
+            ClaimResult(
+                claim_id=claim.claim_id,
+                passed=passed,
+                measured=measured,
+                paper=claim.paper_value,
+                statement=claim.statement,
+            )
+        )
+    return results
+
+
+def validate(settings: Optional[RunSettings] = None) -> Report:
+    """Claim validation as a renderable report (CLI: ``repro validate``)."""
+    results = validate_claims(settings)
+    rows = [
+        [
+            "PASS" if r.passed else "FAIL",
+            r.claim_id,
+            r.paper or "-",
+            r.measured,
+        ]
+        for r in results
+    ]
+    n_pass = sum(r.passed for r in results)
+    return Report(
+        experiment_id="validate",
+        title=f"Paper-claim validation: {n_pass}/{len(results)} claims hold",
+        headers=["status", "claim", "paper", "measured"],
+        rows=rows,
+        data={r.claim_id: r for r in results},
+        notes=[
+            "Claims are qualitative shapes (directions, orderings, rough"
+            " factors), not absolute matches to the authors' hardware."
+        ],
+    )

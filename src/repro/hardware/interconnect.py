@@ -1,0 +1,82 @@
+"""HyperTransport-style interconnect latency and congestion model.
+
+Remote memory accesses traverse one or more interconnect hops; each hop
+adds latency, and heavily used links add queueing delay.  We model link
+congestion at node granularity: the remote traffic entering/leaving a
+node shares that node's HT links, so per-hop latency for traffic
+touching node ``n`` inflates with that node's remote-traffic
+utilisation.  This coarse model is sufficient because the paper's
+policies only observe aggregate latency effects (via LAR and controller
+imbalance), never per-link counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import NumaTopology
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Latency model for the point-to-point interconnect.
+
+    Attributes
+    ----------
+    hop_latency_cycles:
+        Added latency per interconnect hop, uncontended.
+    link_capacity_requests_per_sec:
+        Sustainable remote-request rate through one node's links.
+    congestion_factor:
+        Multiplier controlling how sharply hop latency grows with link
+        utilisation.
+    max_hop_latency_cycles:
+        Saturation cap per hop.
+    """
+
+    hop_latency_cycles: float = 60.0
+    link_capacity_requests_per_sec: float = 220e6
+    congestion_factor: float = 0.7
+    max_hop_latency_cycles: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.hop_latency_cycles < 0:
+            raise ConfigurationError("hop_latency_cycles must be non-negative")
+        if self.link_capacity_requests_per_sec <= 0:
+            raise ConfigurationError("link capacity must be positive")
+        if self.max_hop_latency_cycles < self.hop_latency_cycles:
+            raise ConfigurationError("max_hop_latency_cycles must be >= hop latency")
+
+    def link_utilisation(self, traffic_matrix_per_sec: np.ndarray) -> np.ndarray:
+        """Per-node remote-link utilisation from a (src, dst) traffic matrix."""
+        traffic = np.asarray(traffic_matrix_per_sec, dtype=np.float64)
+        if traffic.ndim != 2 or traffic.shape[0] != traffic.shape[1]:
+            raise ConfigurationError("traffic matrix must be square")
+        remote = traffic.copy()
+        np.fill_diagonal(remote, 0.0)
+        # A node's links carry both its outgoing and incoming remote traffic.
+        per_node = remote.sum(axis=1) + remote.sum(axis=0)
+        return np.clip(per_node / self.link_capacity_requests_per_sec, 0.0, 0.999)
+
+    def hop_latency_matrix(
+        self, topology: NumaTopology, traffic_matrix_per_sec: np.ndarray
+    ) -> np.ndarray:
+        """Total interconnect latency (cycles) for each (src, dst) pair.
+
+        Local accesses (diagonal) have zero interconnect cost.  A remote
+        access pays ``hops * hop_latency`` inflated by the maximum of
+        the two endpoints' link utilisations.
+        """
+        util = self.link_utilisation(traffic_matrix_per_sec)
+        n = topology.n_nodes
+        endpoint_util = np.maximum(util[:, None], util[None, :])
+        per_hop = self.hop_latency_cycles * (
+            1.0 + self.congestion_factor * endpoint_util / (1.0 - endpoint_util)
+        )
+        per_hop = np.minimum(per_hop, self.max_hop_latency_cycles)
+        matrix = topology.hop_matrix.astype(np.float64) * per_hop
+        assert matrix.shape == (n, n)
+        return matrix

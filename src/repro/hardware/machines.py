@@ -1,0 +1,93 @@
+"""Presets for the two experimental machines of the paper (Section 2.1).
+
+Machine A: two 1.7GHz AMD Opteron 6164 HE processors, 12 cores each,
+64GB RAM, four NUMA nodes (6 cores + 12GB per node; the paper rounds
+16GB/node down to 12GB usable).  Machine B: four AMD Opteron 6272
+processors, 16 cores each (64 total), 512GB RAM, eight NUMA nodes
+(8 cores + 64GB per node).  Both use HyperTransport 3.0 links.
+
+The hop matrices model the usual Magny-Cours / Interlagos packaging:
+the two nodes inside one package are one hop apart, nodes in different
+packages are one or two hops apart depending on whether a direct HT
+link exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import NumaNode, NumaTopology
+
+GIB = 1024**3
+
+
+def machine_a() -> NumaTopology:
+    """The paper's machine A: 4 nodes x 6 cores x 12GB, 1.7GHz."""
+    nodes = [NumaNode(node_id=i, n_cores=6, dram_bytes=12 * GIB) for i in range(4)]
+    # Two packages: nodes {0,1} and {2,3}. Intra-package: 1 hop.
+    # Each node has a direct link to one node of the other package,
+    # and reaches the remaining node in 2 hops.
+    hops = np.array(
+        [
+            [0, 1, 1, 2],
+            [1, 0, 2, 1],
+            [1, 2, 0, 1],
+            [2, 1, 1, 0],
+        ]
+    )
+    return NumaTopology(
+        name="machine-A", nodes=nodes, hop_matrix=hops, cpu_freq_hz=1.7e9
+    )
+
+
+def machine_b() -> NumaTopology:
+    """The paper's machine B: 8 nodes x 8 cores x 64GB, 2.1GHz."""
+    nodes = [NumaNode(node_id=i, n_cores=8, dram_bytes=64 * GIB) for i in range(8)]
+    # Four packages: {0,1}, {2,3}, {4,5}, {6,7}. Intra-package: 1 hop.
+    # Packages are connected in the usual partially-connected HT mesh:
+    # each node links directly to two remote nodes; worst case 3 hops.
+    n = 8
+    hops = np.full((n, n), 3, dtype=np.int64)
+    np.fill_diagonal(hops, 0)
+
+    def set_hops(a: int, b: int, h: int) -> None:
+        hops[a, b] = h
+        hops[b, a] = h
+
+    # Intra-package links.
+    for base in range(0, n, 2):
+        set_hops(base, base + 1, 1)
+    # Direct inter-package links (one per node, ring-ish arrangement).
+    direct = [(0, 2), (1, 4), (3, 6), (5, 7), (0, 6), (2, 4), (1, 3), (5, 2)]
+    for a, b in direct:
+        set_hops(a, b, 1)
+    # Two-hop pairs: any remaining pair with a common 1-hop neighbour.
+    for a in range(n):
+        for b in range(a + 1, n):
+            if hops[a, b] > 2:
+                for via in range(n):
+                    if hops[a, via] == 1 and hops[via, b] == 1:
+                        set_hops(a, b, 2)
+                        break
+    return NumaTopology(
+        name="machine-B", nodes=nodes, hop_matrix=hops, cpu_freq_hz=2.1e9
+    )
+
+
+_MACHINES = {
+    "A": machine_a,
+    "B": machine_b,
+    "machine-A": machine_a,
+    "machine-B": machine_b,
+}
+
+
+def machine_by_name(name: str) -> NumaTopology:
+    """Look up a machine preset by short (``"A"``) or long name."""
+    try:
+        return _MACHINES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; expected one of {sorted(set(_MACHINES))}"
+        ) from None

@@ -1,0 +1,71 @@
+"""Per-node memory-controller queueing model.
+
+The paper's motivation (Section 1) cites measurements from the
+Carrefour paper [Dashti et al., ASPLOS'13]: an overloaded memory
+controller can serve requests at ~1000 cycles versus ~200 cycles
+uncontended.  We model each node's controller as a queue whose latency
+grows with utilisation:
+
+    latency(rho) = base * (1 + k * rho / (1 - rho)),    capped at max
+
+where ``rho`` is the offered load divided by the controller's service
+capacity.  The shape (flat until ~60% utilisation, then steeply rising,
+saturating around 5x the base latency) is what produces the paper's
+imbalance penalty: when hot pages concentrate traffic on one node, that
+node's latency blows up and every thread touching it stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryControllerModel:
+    """Latency model for one memory controller (all nodes share it).
+
+    Attributes
+    ----------
+    base_latency_cycles:
+        DRAM access latency with an idle controller.
+    capacity_requests_per_sec:
+        Sustainable request rate of one controller (64B lines/sec).
+    contention_factor:
+        ``k`` in the queueing formula; larger means sharper blow-up.
+    max_latency_cycles:
+        Saturation cap, per the ~1000-cycle measurements in [6].
+    """
+
+    base_latency_cycles: float = 200.0
+    capacity_requests_per_sec: float = 150e6
+    contention_factor: float = 0.9
+    max_latency_cycles: float = 1100.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency_cycles <= 0:
+            raise ConfigurationError("base_latency_cycles must be positive")
+        if self.capacity_requests_per_sec <= 0:
+            raise ConfigurationError("capacity_requests_per_sec must be positive")
+        if self.contention_factor < 0:
+            raise ConfigurationError("contention_factor must be non-negative")
+        if self.max_latency_cycles < self.base_latency_cycles:
+            raise ConfigurationError("max_latency_cycles must be >= base latency")
+
+    def utilisation(self, requests_per_sec: np.ndarray) -> np.ndarray:
+        """Utilisation ``rho`` per controller, clipped to just below 1."""
+        rate = np.asarray(requests_per_sec, dtype=np.float64)
+        if np.any(rate < 0):
+            raise ConfigurationError("request rates must be non-negative")
+        return np.clip(rate / self.capacity_requests_per_sec, 0.0, 0.999)
+
+    def latency_cycles(self, requests_per_sec: np.ndarray) -> np.ndarray:
+        """Per-controller access latency in cycles given offered load."""
+        rho = self.utilisation(requests_per_sec)
+        latency = self.base_latency_cycles * (
+            1.0 + self.contention_factor * rho / (1.0 - rho)
+        )
+        return np.minimum(latency, self.max_latency_cycles)

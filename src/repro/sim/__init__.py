@@ -1,0 +1,29 @@
+"""Epoch-based simulation engine.
+
+The engine advances a workload in fixed work quanta (epochs).  Each
+epoch it materialises first-touch allocations, translates the sampled
+DRAM-access streams through the address space, prices the traffic with
+the memory-controller and interconnect models, evaluates the TLB model
+against the current backing state, and charges page-fault and policy
+maintenance time.  Runtime is the sum of epoch times; performance
+comparisons are ratios of runtimes for the same workload under
+different placement policies.
+"""
+
+from repro.sim.config import MachineModels, SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.policy import LinuxPolicy, PlacementPolicy, PolicyActionSummary
+from repro.sim.results import RunMetrics, SimulationResult
+from repro.sim.tracker import AccessTracker
+
+__all__ = [
+    "SimConfig",
+    "MachineModels",
+    "Simulation",
+    "PlacementPolicy",
+    "LinuxPolicy",
+    "PolicyActionSummary",
+    "SimulationResult",
+    "RunMetrics",
+    "AccessTracker",
+]

@@ -1,0 +1,369 @@
+"""The epoch-based simulation engine.
+
+One :class:`Simulation` runs one workload instance on one machine under
+one placement policy.  Each epoch represents a fixed quantum of
+application work; how much wall-clock time the quantum takes depends on
+DRAM latency (controller queueing + interconnect), TLB walk costs,
+page-fault handling and policy maintenance — the same four components
+the paper's measurements decompose into.  Runtime is the sum of epoch
+times, so performance ratios between policies come out directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.errors import SimulationError
+from repro.hardware.counters import CounterBank, EpochCounters
+from repro.hardware.ibs import IbsEngine
+from repro.hardware.tlb import TlbModel
+from repro.hardware.topology import NumaTopology
+from repro.sim.config import SimConfig
+from repro.sim.policy import PlacementPolicy, PolicyActionSummary
+from repro.sim.results import SimulationResult
+from repro.sim.tracker import AccessTracker
+from repro.vm.address_space import AddressSpace
+from repro.vm.frame_allocator import PhysicalMemory
+from repro.vm.layout import GRANULES_PER_1G, PageSize, SHIFT_1G, SHIFT_2M
+from repro.vm.thp import ThpState, khugepaged_scan
+from repro.workloads.base import Workload, WorkloadInstance
+
+
+class Simulation:
+    """Drives one (machine, workload, policy) combination to completion."""
+
+    def __init__(
+        self,
+        machine: NumaTopology,
+        workload: Union[Workload, WorkloadInstance],
+        policy: PlacementPolicy,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or SimConfig()
+        self.models = self.config.models
+        if isinstance(workload, Workload):
+            self.instance = workload.instantiate(
+                machine, self.config.scale, self.config.seed
+            )
+        else:
+            self.instance = workload
+        if self.instance.machine is not machine:
+            raise SimulationError("workload instance was built for another machine")
+        self.policy = policy
+
+        self.phys = PhysicalMemory.for_topology(machine)
+        self.asp = AddressSpace(self.instance.n_granules, self.phys, self.instance.name)
+        self.thp = ThpState()
+        self.tlb_model = TlbModel(self.models.tlb, self.models.cache)
+        self.ibs = IbsEngine(
+            machine.n_nodes,
+            rate=self.config.ibs_rate if policy.wants_ibs() else 0.0,
+            cost_cycles_per_sample=self.config.ibs_cost_cycles,
+        )
+        self.bank = CounterBank(machine.n_nodes, machine.n_cores)
+        self.tracker = (
+            AccessTracker(self.instance.n_granules)
+            if self.config.track_access_stats
+            else None
+        )
+        self.n_threads = self.instance.n_threads
+        self.thread_nodes = machine.core_to_node[: self.n_threads].astype(np.int64)
+        self.sim_time_s = 0.0
+        self.epoch = 0
+        self.action_log: List[Tuple[float, PolicyActionSummary]] = []
+        self._pending_maintenance_s = 0.0
+        self._last_policy_epoch = 0
+        self._next_policy_time = (
+            policy.interval_s if policy.interval_s is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run the workload to completion and return the results."""
+        self.policy.setup(self)
+        total_epochs = min(self.instance.total_epochs, self.config.max_epochs)
+        for epoch in range(total_epochs):
+            self.epoch = epoch
+            self._run_epoch(epoch)
+        return SimulationResult(
+            workload=self.instance.name,
+            machine=self.machine.name,
+            policy=self.policy.name,
+            runtime_s=self.sim_time_s,
+            epoch_times_s=[e.duration_s for e in self.bank.epochs],
+            bank=self.bank,
+            hot_stats=(
+                self.tracker.hot_page_stats(self.asp) if self.tracker else None
+            ),
+            action_log=self.action_log,
+            final_page_counts=self.asp.page_counts(),
+        )
+
+    def _run_epoch(self, epoch: int) -> None:
+        cfg = self.config
+        cost = self.instance.cost
+        n_nodes = self.machine.n_nodes
+        n_threads = self.n_threads
+        freq = self.machine.cpu_freq_hz
+
+        fault_time = np.zeros(n_threads)
+        walk_time = np.zeros(n_threads)
+        ibs_time = np.zeros(n_threads)
+        tlb_misses = np.zeros(n_threads)
+        walk_l2 = np.zeros(n_threads)
+        traffic = np.zeros((n_nodes, n_nodes))
+        thread_home_counts = np.zeros((n_threads, n_nodes))
+
+        # 1. Allocation work (first-touch premaps, growth).
+        batch = self.instance.premap_epoch(
+            epoch,
+            self.asp,
+            self.thread_nodes,
+            self.thp.alloc_enabled,
+            interleave=self.policy.alloc_interleave,
+        )
+        concurrent = batch.faulting_threads()
+        for t in range(n_threads):
+            fault_time[t] = self.models.page_fault.handler_time_s(
+                float(batch.faults_4k[t]),
+                float(batch.faults_2m[t]),
+                float(batch.faults_1g[t]),
+                concurrent,
+            )
+
+        # 2. Access streams: translation, traffic, TLB, IBS, tracking.
+        stream_faults_4k = stream_faults_2m = 0.0
+        written_replicated: set = set()
+        fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        weight = cost.dram_accesses / cfg.stream_length
+        for t in range(n_threads):
+            rng = rng_for(
+                cfg.seed, self.instance.seed, self.instance.name, "stream", t, epoch
+            )
+            granules, writes = self.instance.epoch_stream_with_writes(
+                t, epoch, rng, cfg.stream_length
+            )
+            if granules.size == 0:
+                continue
+            homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
+            if homes.size and int(homes.min()) < 0:
+                stats = self.asp.fault_in(
+                    granules[homes < 0],
+                    int(self.thread_nodes[t]),
+                    self.thp.alloc_enabled,
+                )
+                fault_time[t] += self.models.page_fault.handler_time_s(
+                    stats.faults_4k, stats.faults_2m, stats.faults_1g, 1
+                )
+                stream_faults_4k += stats.faults_4k
+                stream_faults_2m += stats.faults_2m
+                homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
+            counts = np.bincount(
+                homes.astype(np.int64), minlength=n_nodes
+            ).astype(np.float64) * (cost.dram_accesses / granules.size)
+            thread_home_counts[t] = counts
+            traffic[self.thread_nodes[t]] += counts
+            n_samples = self.ibs.record_epoch(
+                t,
+                int(self.thread_nodes[t]),
+                granules,
+                homes,
+                cost.dram_accesses,
+                rng,
+                writes=writes,
+            )
+            ibs_time[t] = self.ibs.overhead_seconds(n_samples, freq)
+            if self.tracker is not None:
+                self.tracker.update(t, granules, weight)
+            # Writes to replicated pages collapse the replicas.
+            if writes.size and np.any(writes):
+                written = granules[writes]
+                rep_mask = self.asp.replication_mask(written)
+                if np.any(rep_mask):
+                    ids, _ = self.asp.backing_info(written[rep_mask])
+                    written_replicated.update(int(i) for i in np.unique(ids))
+            tlb_result = self.tlb_model.epoch_result_grouped(
+                self._classify_tlb_groups(
+                    self.instance.tlb_groups(t, epoch), fraction_cache
+                ),
+                cost.mem_accesses,
+            )
+            walk_time[t] = tlb_result.walk_cycles / freq
+            tlb_misses[t] = tlb_result.misses
+            walk_l2[t] = tlb_result.walk_l2_misses
+
+        # 3. Price the traffic: controller queueing + interconnect hops.
+        rates = traffic / cfg.epoch_s
+        controller_latency = self.models.controller.latency_cycles(rates.sum(axis=0))
+        hop_latency = self.models.interconnect.hop_latency_matrix(self.machine, rates)
+        latency = controller_latency[None, :] + hop_latency  # (src, dst) cycles
+        dram_time = (
+            thread_home_counts * latency[self.thread_nodes, :]
+        ).sum(axis=1) / freq / cost.mlp
+
+        thread_time = cost.cpu_seconds + dram_time + walk_time + fault_time + ibs_time
+
+        # 4. Maintenance: khugepaged plus policy actions from last epoch.
+        maintenance_s = self._pending_maintenance_s
+        self._pending_maintenance_s = 0.0
+        replicas_collapsed = 0
+        for page_id in written_replicated:
+            if self.asp.unreplicate_backing(page_id) > 0:
+                replicas_collapsed += 1
+        if replicas_collapsed:
+            maintenance_s += self.models.migration.collapse_time_s(
+                replicas_collapsed, n_threads
+            )
+        collapsed = 0
+        if self.thp.promotion_enabled:
+            self.thp.scan_batch = cfg.khugepaged_batch
+            collapsed = khugepaged_scan(self.thp, self.asp)
+            maintenance_s += self.models.migration.collapse_time_s(
+                collapsed, n_threads
+            )
+
+        epoch_time = float(thread_time.max()) + maintenance_s / n_nodes
+        self.sim_time_s += epoch_time
+
+        fault_per_core = np.zeros(self.machine.n_cores)
+        fault_per_core[:n_threads] = fault_time
+        self.bank.add(
+            EpochCounters(
+                epoch=epoch,
+                duration_s=epoch_time,
+                traffic=traffic,
+                instructions=cost.instructions * n_threads,
+                mem_accesses=cost.mem_accesses * n_threads,
+                l2_data_misses=cost.dram_accesses * n_threads,
+                walk_l2_misses=float(walk_l2.sum()),
+                tlb_misses=float(tlb_misses.sum()),
+                page_faults_4k=float(batch.faults_4k.sum()) + stream_faults_4k,
+                page_faults_2m=float(batch.faults_2m.sum()) + stream_faults_2m,
+                page_faults_1g=float(batch.faults_1g.sum()),
+                fault_time_per_core_s=fault_per_core,
+                daemon_time_s=maintenance_s,
+                time_cpu_s=cost.cpu_seconds * n_threads,
+                time_dram_s=float(dram_time.sum()),
+                time_walk_s=float(walk_time.sum()),
+                time_fault_s=float(fault_time.sum()),
+                time_ibs_s=float(ibs_time.sum()),
+                pages_collapsed_2m=collapsed,
+                replicas_collapsed=replicas_collapsed,
+                ibs_samples=self.ibs.pending_samples,
+            )
+        )
+
+        # 5. Policy daemon at its interval (actions cost time next epoch).
+        if (
+            self._next_policy_time is not None
+            and self.sim_time_s >= self._next_policy_time
+        ):
+            samples = self.ibs.drain()
+            window = self.bank.window(self._last_policy_epoch)
+            summary = self.policy.on_interval(self, samples, window)
+            self._last_policy_epoch = epoch + 1
+            migration_model = self.models.migration
+            action_cost = (
+                migration_model.migration_time_s(
+                    summary.bytes_migrated + summary.bytes_replicated,
+                    summary.migrated_4k
+                    + summary.migrated_2m
+                    + summary.replicated_pages,
+                )
+                + migration_model.split_time_s(
+                    summary.splits_2m + summary.splits_1g * (GRANULES_PER_1G // 512),
+                    self.n_threads,
+                )
+                + migration_model.collapse_time_s(summary.collapses_2m, self.n_threads)
+                + summary.compute_s
+            )
+            self._pending_maintenance_s += action_cost
+            self.action_log.append((self.sim_time_s, summary))
+            interval = self.policy.interval_s or 1.0
+            while self._next_policy_time <= self.sim_time_s:
+                self._next_policy_time += interval
+
+    # ------------------------------------------------------------------
+    # TLB group classification against current backing state
+    # ------------------------------------------------------------------
+    def _backing_fractions(
+        self, lo: int, hi: int
+    ) -> Tuple[float, float, float]:
+        """Fractions of [lo, hi) backed by 4KB / 2MB / 1GB pages."""
+        asp = self.asp
+        c_lo = lo >> SHIFT_2M
+        c_hi = ((hi - 1) >> SHIFT_2M) + 1
+        mapped4 = float(asp.mapped_count_2m[c_lo:c_hi].sum())
+        huge_idx = np.flatnonzero(asp.huge[c_lo:c_hi]) + c_lo
+        if huge_idx.size:
+            overlap = np.minimum(hi, (huge_idx + 1) << SHIFT_2M) - np.maximum(
+                lo, huge_idx << SHIFT_2M
+            )
+            huge_g = float(overlap.sum())
+        else:
+            huge_g = 0.0
+        g_lo = lo >> SHIFT_1G
+        g_hi = ((hi - 1) >> SHIFT_1G) + 1
+        giga_idx = np.flatnonzero(asp.giga[g_lo:g_hi]) + g_lo
+        if giga_idx.size:
+            overlap = np.minimum(hi, (giga_idx + 1) << SHIFT_1G) - np.maximum(
+                lo, giga_idx << SHIFT_1G
+            )
+            giga_g = float(overlap.sum())
+        else:
+            giga_g = 0.0
+        total = mapped4 + huge_g + giga_g
+        if total <= 0:
+            return (1.0, 0.0, 0.0)
+        return (mapped4 / total, huge_g / total, giga_g / total)
+
+    def _classify_tlb_groups(
+        self,
+        groups,
+        cache: Dict[Tuple[int, int], Tuple[float, float, float]],
+    ) -> Dict[PageSize, Tuple[np.ndarray, np.ndarray]]:
+        per_class: Dict[PageSize, Tuple[List[float], List[float], List[float]]] = {
+            PageSize.SIZE_4K: ([], [], []),
+            PageSize.SIZE_2M: ([], [], []),
+            PageSize.SIZE_1G: ([], [], []),
+        }
+        for group in groups:
+            if group.weight <= 0 or group.hi <= group.lo:
+                continue
+            key = (group.lo, group.hi)
+            fractions = cache.get(key)
+            if fractions is None:
+                fractions = self._backing_fractions(group.lo, group.hi)
+                cache[key] = fractions
+            for size, frac, distinct in (
+                (PageSize.SIZE_4K, fractions[0], group.distinct_4k),
+                (PageSize.SIZE_2M, fractions[1], group.distinct_2m),
+                (PageSize.SIZE_1G, fractions[2], group.distinct_1g),
+            ):
+                if frac <= 0:
+                    continue
+                counts, weights, runs = per_class[size]
+                counts.append(max(1.0, distinct * frac))
+                weights.append(group.weight * frac)
+                # Sequential sweeps keep hitting the same large page for
+                # consecutive 4KB-page runs, so the effective run length
+                # at a bigger page size grows by the ratio of distinct
+                # translations (512 for a dense sweep).  Random-order
+                # groups get no such amplification.
+                if group.sequential:
+                    runs.append(
+                        group.run_length * (group.distinct_4k / max(distinct, 1.0))
+                    )
+                else:
+                    runs.append(group.run_length)
+        return {
+            size: (np.asarray(counts), np.asarray(weights), np.asarray(runs))
+            for size, (counts, weights, runs) in per_class.items()
+            if counts
+        }

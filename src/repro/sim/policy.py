@@ -1,0 +1,112 @@
+"""Placement-policy interface and the baseline Linux policies.
+
+A policy configures the initial THP state and optionally runs as a
+periodic daemon (Carrefour's 1-second interval), consuming the IBS
+samples and hardware counters gathered since its last invocation and
+mutating the address space (migrate / interleave / split / collapse /
+toggle THP).  The engine charges the time cost of the actions using
+the migration cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.hardware.counters import CounterBank
+from repro.hardware.ibs import IbsSamples
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+@dataclass
+class PolicyActionSummary:
+    """What a daemon invocation did, for cost accounting and logging."""
+
+    migrated_4k: int = 0
+    migrated_2m: int = 0
+    bytes_migrated: int = 0
+    splits_2m: int = 0
+    splits_1g: int = 0
+    collapses_2m: int = 0
+    replicated_pages: int = 0
+    bytes_replicated: int = 0
+    #: Daemon compute time (sample processing etc.), seconds.
+    compute_s: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    def merge(self, other: "PolicyActionSummary") -> None:
+        """Accumulate another summary into this one."""
+        self.migrated_4k += other.migrated_4k
+        self.migrated_2m += other.migrated_2m
+        self.bytes_migrated += other.bytes_migrated
+        self.splits_2m += other.splits_2m
+        self.splits_1g += other.splits_1g
+        self.collapses_2m += other.collapses_2m
+        self.replicated_pages += other.replicated_pages
+        self.bytes_replicated += other.bytes_replicated
+        self.compute_s += other.compute_s
+        self.notes.extend(other.notes)
+
+
+class PlacementPolicy:
+    """Base policy: no daemon, THP fully on or off.
+
+    Subclasses override :meth:`setup` to configure initial state and
+    :meth:`on_interval` to act on monitoring data.
+    """
+
+    #: Human-readable policy name (used in reports).
+    name: str = "base"
+    #: Seconds of simulated time between daemon invocations;
+    #: ``None`` disables the daemon entirely.
+    interval_s: Optional[float] = 1.0
+    #: Place new allocations round-robin across nodes (numactl-style
+    #: --interleave) instead of first-touch.
+    alloc_interleave: bool = False
+
+    def setup(self, sim: "Simulation") -> None:
+        """Configure initial THP state and any policy-private state."""
+
+    def on_interval(
+        self, sim: "Simulation", samples: IbsSamples, window: CounterBank
+    ) -> PolicyActionSummary:
+        """One daemon invocation; returns the actions performed."""
+        return PolicyActionSummary()
+
+    def wants_ibs(self) -> bool:
+        """Whether the engine should collect IBS samples for this policy."""
+        return self.interval_s is not None
+
+
+class LinuxPolicy(PlacementPolicy):
+    """Default Linux: first-touch placement, THP on or off, no daemon.
+
+    ``thp=False`` reproduces the paper's "Linux" baseline (4KB pages);
+    ``thp=True`` reproduces "THP" (2MB pages via transparent huge
+    pages, allocation + khugepaged promotion).  ``interleave=True``
+    switches allocation to numactl-style round-robin placement — the
+    classic manual remedy that trades locality for balance.
+    """
+
+    interval_s: Optional[float] = None
+
+    def __init__(self, thp: bool, interleave: bool = False) -> None:
+        self.thp = thp
+        self.alloc_interleave = interleave
+        if interleave:
+            self.name = "interleave-thp" if thp else "interleave-4k"
+        else:
+            self.name = "thp" if thp else "linux-4k"
+
+    def setup(self, sim: "Simulation") -> None:
+        if self.thp:
+            sim.thp.enable_alloc()
+            sim.thp.enable_promotion()
+        else:
+            sim.thp.disable_alloc()
+            sim.thp.disable_promotion()
+
+    def wants_ibs(self) -> bool:
+        return False

@@ -1,0 +1,42 @@
+"""Simulated operating-system virtual-memory subsystem.
+
+This package is the substrate that the paper's kernel changes live in:
+a per-node buddy frame allocator, multi-size address spaces (4KB / 2MB /
+1GB pages), transparent huge pages (allocation-time backing plus a
+khugepaged-style promotion scanner), page-fault cost accounting,
+page migration and large-page splitting.
+"""
+
+from repro.vm.layout import (
+    PAGE_4K,
+    PAGE_2M,
+    PAGE_1G,
+    GRANULES_PER_2M,
+    GRANULES_PER_1G,
+    PageSize,
+)
+from repro.vm.frame_allocator import BuddyAllocator, NodeMemory, PhysicalMemory
+from repro.vm.address_space import AddressSpace, FaultStats
+from repro.vm.page_table import PageTableModel
+from repro.vm.thp import ThpState, khugepaged_scan
+from repro.vm.page_fault import PageFaultModel
+from repro.vm.migration import MigrationCostModel
+
+__all__ = [
+    "PAGE_4K",
+    "PAGE_2M",
+    "PAGE_1G",
+    "GRANULES_PER_2M",
+    "GRANULES_PER_1G",
+    "PageSize",
+    "BuddyAllocator",
+    "NodeMemory",
+    "PhysicalMemory",
+    "AddressSpace",
+    "FaultStats",
+    "PageTableModel",
+    "ThpState",
+    "khugepaged_scan",
+    "PageFaultModel",
+    "MigrationCostModel",
+]

@@ -1,0 +1,232 @@
+"""Models of the Metis MapReduce benchmarks (WC, WR, wrmem, kmeans,
+matrixmultiply, pca).
+
+Metis maps input files, runs map tasks that insert into a shared hash
+table, then reduces.  The defining VM traits the paper reports:
+
+* **WC (wordcount)** spends 37.6% of its time in the page-fault
+  handler at 4KB (allocation storm while ingesting and inserting) and
+  more than doubles with THP; its memory-controller traffic is wildly
+  imbalanced under both page sizes (imbalance ~140%) because the
+  master-allocated hash table concentrates on one node.
+* **WR (wordreverse)** is a milder WC.
+* **wrmem** generates its input in memory: large allocation phase,
+  big THP win, but THP skews its NUMA metrics (it is in the paper's
+  "affected" set) — its intermediate table is hot and clustered.
+* **matrixmultiply** is blocked and locality-friendly; THP slightly
+  disturbs its balance (affected set, small effects).
+* **kmeans** has small shared centroids and partitioned points:
+  neutral.
+* **pca** master-initialises its matrix: a pre-existing NUMA problem
+  that the Carrefour component of Carrefour-LP fixes at any page size
+  (Figure 5's large gains).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.topology import NumaTopology
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.common import (
+    GIB,
+    MIB,
+    epochs_for,
+    reference_cost,
+    scaled_bytes,
+)
+from repro.workloads.regions import (
+    PartitionedRegion,
+    SharedRegion,
+    StreamRegion,
+)
+
+
+def _wc(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    total_epochs = epochs_for(scale)
+    regions = [
+        # Input ingest + intermediate pairs: keeps growing all run.
+        StreamRegion(
+            "ingest",
+            bytes_per_thread=scaled_bytes(224 * MIB, scale),
+            access_share=0.50,
+            grow_epochs=max(2, (total_epochs * 4) // 5),
+            window_bytes=scaled_bytes(24 * MIB, scale),
+            recency=0.75,
+        ),
+        # Hash table allocated by the master thread: one hot node.
+        SharedRegion(
+            "hash-table",
+            total_bytes=scaled_bytes(1.5 * GIB, scale),
+            access_share=0.50,
+            zipf_s=0.7,
+            clustered=False,
+            master_init=True,
+            tlb_run_length=115.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="WC",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.45, cpu_s=0.05, dram_to_mem=40.0),
+        total_epochs=total_epochs,
+        seed=seed,
+    )
+
+
+def _wr(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    total_epochs = epochs_for(scale)
+    regions = [
+        StreamRegion(
+            "ingest",
+            bytes_per_thread=scaled_bytes(128 * MIB, scale),
+            access_share=0.55,
+            grow_epochs=max(2, (total_epochs * 3) // 5),
+            window_bytes=scaled_bytes(16 * MIB, scale),
+            recency=0.75,
+        ),
+        SharedRegion(
+            "reverse-index",
+            total_bytes=scaled_bytes(1.0 * GIB, scale),
+            access_share=0.45,
+            zipf_s=0.6,
+            clustered=False,
+            master_init=True,
+            tlb_run_length=200.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="WR",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.40, cpu_s=0.07, dram_to_mem=35.0),
+        total_epochs=total_epochs,
+        seed=seed,
+    )
+
+
+def _wrmem(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    total_epochs = epochs_for(scale)
+    regions = [
+        # Input is generated in memory: one large allocation phase.
+        StreamRegion(
+            "generated-input",
+            bytes_per_thread=scaled_bytes(192 * MIB, scale),
+            access_share=0.55,
+            grow_epochs=max(2, total_epochs // 3),
+            window_bytes=scaled_bytes(32 * MIB, scale),
+            recency=0.7,
+        ),
+        # Hot intermediate table, clustered: THP skews its placement.
+        SharedRegion(
+            "intermediate",
+            total_bytes=scaled_bytes(768 * MIB, scale),
+            access_share=0.45,
+            zipf_s=0.55,
+            clustered=True,
+            stripe_bytes=32 * 1024,
+            tlb_run_length=110.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="wrmem",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.42, cpu_s=0.05, dram_to_mem=42.0),
+        total_epochs=total_epochs,
+        seed=seed,
+    )
+
+
+def _matrixmultiply(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "tiles",
+            bytes_per_thread=scaled_bytes(32 * MIB, scale),
+            access_share=0.70,
+            contiguous=True,
+        ),
+        # Result matrix written through a clustered shared region.
+        SharedRegion(
+            "result",
+            total_bytes=scaled_bytes(512 * MIB, scale),
+            access_share=0.30,
+            zipf_s=0.6,
+            clustered=True,
+            tlb_run_length=350.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="MatrixMultiply",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.35, cpu_s=0.12, dram_to_mem=30.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _kmeans(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "points",
+            bytes_per_thread=scaled_bytes(48 * MIB, scale),
+            access_share=0.96,
+            contiguous=True,
+        ),
+        # Centroids are tiny and cache-resident: nearly invisible to
+        # the memory system regardless of page size.
+        SharedRegion(
+            "centroids",
+            total_bytes=scaled_bytes(8 * MIB, scale, floor=8 * MIB),
+            access_share=0.04,
+            clustered=False,
+            write_fraction=0.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="Kmeans",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.25, cpu_s=0.15, dram_to_mem=30.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _pca(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        # Matrix allocated and filled by the master before the
+        # parallel phase: the textbook pre-existing NUMA problem.
+        SharedRegion(
+            "matrix",
+            total_bytes=scaled_bytes(2.0 * GIB, scale),
+            access_share=0.9,
+            master_init=True,
+            tlb_run_length=600.0,
+            write_fraction=0.02,
+        ),
+        PartitionedRegion(
+            "partial-sums",
+            bytes_per_thread=scaled_bytes(2 * MIB, scale, floor=1 * MIB),
+            access_share=0.1,
+            contiguous=True,
+        ),
+    ]
+    return WorkloadInstance(
+        name="pca",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.55, cpu_s=0.05, dram_to_mem=25.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+METIS_WORKLOADS = [
+    Workload("WC", "Metis wordcount (page-fault bound, THP doubles it)", _wc, suite="metis"),
+    Workload("WR", "Metis wordreverse", _wr, suite="metis"),
+    Workload("Kmeans", "Metis k-means clustering", _kmeans, suite="metis"),
+    Workload("MatrixMultiply", "Metis blocked matrix multiply", _matrixmultiply, suite="metis"),
+    Workload("pca", "Metis principal component analysis", _pca, suite="metis"),
+    Workload("wrmem", "Metis wordreverse with in-memory input", _wrmem, suite="metis"),
+]

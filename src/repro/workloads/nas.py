@@ -1,0 +1,333 @@
+"""Models of the NAS Parallel Benchmarks used in the paper.
+
+The paper runs BT.B, CG.D, DC.A, EP.C, FT.C, IS.D, LU.B, MG.D, SP.B,
+UA.B and UA.C on both machines.  Each model below encodes the traits
+the paper measures for that benchmark (Table 1/2 and Figures 1-5):
+
+* **CG** — memory-intensive sparse solver, LAR ~40-45%, perfectly
+  balanced controllers at 4KB, but its heavily accessed vectors fit in
+  ~3 huge pages: the *hot-page effect* (NHP=3, PAMUP 0%->8%).
+* **UA** — unstructured adaptive mesh with per-thread element lists
+  interleaved at sub-2MB granularity: LAR ~90% at 4KB, massive
+  *page-level false sharing* under THP (PSP 16%->70%, LAR ->61-66%).
+* **LU** — well-partitioned stencil with a shared boundary structure;
+  mildly affected, and the case where Carrefour-2M's large-page
+  migrations cost measurable overhead.
+* **EP / SP** — master-initialised shared state: pre-existing NUMA
+  issues at any page size, fixed by the Carrefour component.
+* **BT / DC / FT / IS / MG** — neutral with respect to THP-induced
+  NUMA trouble (Figure 5 set): compute-bound, I/O-ish, or naturally
+  balanced; FT and IS have large allocation phases.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.topology import NumaTopology
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.common import (
+    GIB,
+    MIB,
+    epochs_for,
+    reference_cost,
+    scaled_bytes,
+)
+from repro.workloads.regions import (
+    HotRegion,
+    PartitionedRegion,
+    SharedRegion,
+    StreamRegion,
+)
+
+
+def _cg(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        # The handful of heavily accessed solver vectors: ~3 x 2MB.
+        HotRegion("hot-vectors", total_bytes=6 * MIB, access_share=0.30),
+        # Per-thread matrix slabs: contiguous, local after first touch.
+        PartitionedRegion(
+            "matrix-slabs",
+            bytes_per_thread=scaled_bytes(64 * MIB, scale),
+            access_share=0.37,
+            contiguous=True,
+        ),
+        # Sparse index structure shared by everyone.
+        SharedRegion(
+            "sparse-index",
+            total_bytes=scaled_bytes(1.5 * GIB, scale),
+            access_share=0.33,
+            zipf_s=0.0,
+            clustered=False,
+            tlb_run_length=800.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="CG.D",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.55, cpu_s=0.06, dram_to_mem=25.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _ua(class_name: str, footprint_per_thread: int):
+    def build(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+        regions = [
+            # Per-thread element lists, interleaved in 512KB blocks:
+            # high locality at 4KB, false sharing at 2MB.
+            PartitionedRegion(
+                "elements",
+                bytes_per_thread=scaled_bytes(footprint_per_thread, scale),
+                access_share=0.92,
+                block_bytes=512 * 1024,
+                neighbor_share=0.08,
+            ),
+            SharedRegion(
+                "mesh-metadata",
+                total_bytes=scaled_bytes(192 * MIB, scale),
+                access_share=0.08,
+                clustered=False,
+            ),
+        ]
+        return WorkloadInstance(
+            name=f"UA.{class_name}",
+            machine=machine,
+            regions=regions,
+            cost=reference_cost(machine, rho=0.40, cpu_s=0.09, dram_to_mem=28.0),
+            total_epochs=epochs_for(scale),
+            seed=seed,
+        )
+
+    return build
+
+
+def _lu(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "blocks",
+            bytes_per_thread=scaled_bytes(48 * MIB, scale),
+            access_share=0.72,
+            contiguous=True,
+        ),
+        SharedRegion(
+            "boundaries",
+            total_bytes=scaled_bytes(768 * MIB, scale),
+            access_share=0.28,
+            zipf_s=0.5,
+            clustered=True,
+            tlb_run_length=350.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="LU.B",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.42, cpu_s=0.10, dram_to_mem=30.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _ep(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        # Master-initialised tables: everything on node 0 under default
+        # Linux (a pre-existing NUMA problem at any page size).
+        SharedRegion(
+            "random-tables",
+            total_bytes=scaled_bytes(384 * MIB, scale),
+            access_share=0.85,
+            master_init=True,
+            tlb_run_length=500.0,
+            write_fraction=0.0,
+        ),
+        PartitionedRegion(
+            "private-state",
+            bytes_per_thread=scaled_bytes(2 * MIB, scale, floor=1 * MIB),
+            access_share=0.15,
+            contiguous=True,
+        ),
+    ]
+    return WorkloadInstance(
+        name="EP.C",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.35, cpu_s=0.16, dram_to_mem=40.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _sp(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        SharedRegion(
+            "grids",
+            total_bytes=scaled_bytes(1.0 * GIB, scale),
+            access_share=0.55,
+            master_init=True,
+            tlb_run_length=500.0,
+        ),
+        PartitionedRegion(
+            "slabs",
+            bytes_per_thread=scaled_bytes(24 * MIB, scale),
+            access_share=0.45,
+            contiguous=True,
+        ),
+    ]
+    return WorkloadInstance(
+        name="SP.B",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.40, cpu_s=0.11, dram_to_mem=32.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _bt(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "blocks",
+            bytes_per_thread=scaled_bytes(40 * MIB, scale),
+            access_share=0.9,
+            contiguous=True,
+        ),
+        SharedRegion(
+            "faces",
+            total_bytes=scaled_bytes(256 * MIB, scale),
+            access_share=0.1,
+            clustered=False,
+            tlb_run_length=250.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="BT.B",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.30, cpu_s=0.14, dram_to_mem=35.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _dc(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        StreamRegion(
+            "tuples",
+            bytes_per_thread=scaled_bytes(96 * MIB, scale),
+            access_share=0.6,
+            grow_epochs=epochs_for(scale) // 2,
+            window_bytes=scaled_bytes(16 * MIB, scale),
+        ),
+        SharedRegion(
+            "cube-index",
+            total_bytes=scaled_bytes(256 * MIB, scale),
+            access_share=0.4,
+            zipf_s=0.8,
+            clustered=False,
+            tlb_run_length=250.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="DC.A",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.20, cpu_s=0.16, dram_to_mem=25.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _ft(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "fft-planes",
+            bytes_per_thread=scaled_bytes(80 * MIB, scale),
+            access_share=0.8,
+            contiguous=True,
+        ),
+        SharedRegion(
+            "transpose-buffer",
+            total_bytes=scaled_bytes(1.0 * GIB, scale),
+            access_share=0.2,
+            clustered=False,
+            tlb_run_length=400.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="FT.C",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.45, cpu_s=0.09, dram_to_mem=26.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _is(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    # IS.D is the suite's biggest footprint (34GB on machine B): a
+    # bucket sort streaming over huge key arrays.
+    regions = [
+        StreamRegion(
+            "keys",
+            bytes_per_thread=scaled_bytes(384 * MIB, scale),
+            access_share=0.7,
+            grow_epochs=0,
+            window_bytes=scaled_bytes(64 * MIB, scale),
+            recency=0.8,
+        ),
+        SharedRegion(
+            "buckets",
+            total_bytes=scaled_bytes(512 * MIB, scale),
+            access_share=0.3,
+            clustered=False,
+            tlb_run_length=300.0,
+        ),
+    ]
+    return WorkloadInstance(
+        name="IS.D",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.50, cpu_s=0.06, dram_to_mem=15.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+def _mg(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        PartitionedRegion(
+            "grid-levels",
+            bytes_per_thread=scaled_bytes(56 * MIB, scale),
+            access_share=0.90,
+            contiguous=True,
+        ),
+        SharedRegion(
+            "coarse-grids",
+            total_bytes=scaled_bytes(256 * MIB, scale, floor=128 * MIB),
+            access_share=0.10,
+            clustered=False,
+        ),
+    ]
+    return WorkloadInstance(
+        name="MG.D",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.38, cpu_s=0.10, dram_to_mem=24.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+NAS_WORKLOADS = [
+    Workload("BT.B", "NAS block tri-diagonal solver, class B", _bt, suite="nas"),
+    Workload("CG.D", "NAS conjugate gradient, class D (hot-page effect)", _cg, suite="nas"),
+    Workload("DC.A", "NAS data cube, class A", _dc, suite="nas"),
+    Workload("EP.C", "NAS embarrassingly parallel, class C", _ep, suite="nas"),
+    Workload("FT.C", "NAS 3-D FFT, class C", _ft, suite="nas"),
+    Workload("IS.D", "NAS integer sort, class D (34GB footprint)", _is, suite="nas"),
+    Workload("LU.B", "NAS LU solver, class B", _lu, suite="nas"),
+    Workload("MG.D", "NAS multigrid, class D", _mg, suite="nas"),
+    Workload("SP.B", "NAS scalar penta-diagonal solver, class B", _sp, suite="nas"),
+    Workload("UA.B", "NAS unstructured adaptive, class B (false sharing)", _ua("B", 32 * MIB), suite="nas"),
+    Workload("UA.C", "NAS unstructured adaptive, class C (false sharing)", _ua("C", 72 * MIB), suite="nas"),
+]

@@ -1,0 +1,53 @@
+"""Model of PARSEC streamcluster (used only in the paper's Section 4.4).
+
+The PARSEC suite showed no THP-vs-4KB differences at 2MB (footnote 6),
+so only streamcluster appears in the paper — in the very-large-page
+study, where backing it with 1GB pages collapses its per-thread point
+blocks onto one or two NUMA nodes and performance drops by a factor
+of ~4.  At 4KB or 2MB the workload is well partitioned and balanced.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.topology import NumaTopology
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.common import GIB, MIB, epochs_for, reference_cost, scaled_bytes
+from repro.workloads.regions import PartitionedRegion, SharedRegion
+
+
+def _streamcluster(machine: NumaTopology, scale: float, seed: int) -> WorkloadInstance:
+    regions = [
+        # Per-thread point blocks: nicely partitioned at 4KB/2MB, but a
+        # 1GB page swallows many threads' blocks at once.
+        PartitionedRegion(
+            "points",
+            bytes_per_thread=scaled_bytes(40 * MIB, scale),
+            access_share=0.88,
+            block_bytes=4 * MIB,
+            neighbor_share=0.02,
+        ),
+        SharedRegion(
+            "centers",
+            total_bytes=scaled_bytes(128 * MIB, scale, floor=64 * MIB),
+            access_share=0.12,
+            clustered=False,
+        ),
+    ]
+    return WorkloadInstance(
+        name="streamcluster",
+        machine=machine,
+        regions=regions,
+        cost=reference_cost(machine, rho=0.50, cpu_s=0.06, dram_to_mem=25.0),
+        total_epochs=epochs_for(scale),
+        seed=seed,
+    )
+
+
+PARSEC_WORKLOADS = [
+    Workload(
+        "streamcluster",
+        "PARSEC streamcluster (used in the 1GB-page study)",
+        _streamcluster,
+        suite="parsec",
+    )
+]

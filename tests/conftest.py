@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.machines import machine_a, machine_b
+from repro.hardware.topology import NumaNode, NumaTopology
+from repro.experiments.runner import RunSettings, run_benchmark
+from repro.vm.frame_allocator import PhysicalMemory
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def tiny_topo() -> NumaTopology:
+    """A 2-node, 4-core machine for fast unit tests."""
+    nodes = [NumaNode(node_id=i, n_cores=2, dram_bytes=2 * GIB) for i in range(2)]
+    hops = np.array([[0, 1], [1, 0]])
+    return NumaTopology(name="tiny", nodes=nodes, hop_matrix=hops, cpu_freq_hz=2e9)
+
+
+@pytest.fixture
+def quad_topo() -> NumaTopology:
+    """A 4-node, 8-core machine for unit tests needing >2 nodes."""
+    nodes = [NumaNode(node_id=i, n_cores=2, dram_bytes=2 * GIB) for i in range(4)]
+    hops = np.array(
+        [
+            [0, 1, 1, 2],
+            [1, 0, 2, 1],
+            [1, 2, 0, 1],
+            [2, 1, 1, 0],
+        ]
+    )
+    return NumaTopology(name="quad", nodes=nodes, hop_matrix=hops, cpu_freq_hz=2e9)
+
+
+@pytest.fixture
+def tiny_phys(tiny_topo) -> PhysicalMemory:
+    """Physical memory for the tiny machine."""
+    return PhysicalMemory.for_topology(tiny_topo)
+
+
+@pytest.fixture(scope="session")
+def machine_a_topo() -> NumaTopology:
+    """The paper's machine A (session-cached)."""
+    return machine_a()
+
+
+@pytest.fixture(scope="session")
+def machine_b_topo() -> NumaTopology:
+    """The paper's machine B (session-cached)."""
+    return machine_b()
+
+
+@pytest.fixture(scope="session")
+def quick_settings() -> RunSettings:
+    """Reduced-cost run settings shared across integration tests.
+
+    Runs are memoised process-wide by the runner, so every test that
+    asks for the same (workload, machine, policy) reuses one simulation.
+    """
+    return RunSettings.quick(seed=0)
+
+
+@pytest.fixture(scope="session")
+def run(quick_settings):
+    """Callable fixture: run (workload, machine, policy) with caching."""
+
+    def _run(workload: str, machine: str, policy: str, **kwargs):
+        return run_benchmark(workload, machine, policy, quick_settings, **kwargs)
+
+    return _run

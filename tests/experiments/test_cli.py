@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name, "--quick"])
+            assert args.command == name
+            assert args.quick
+
+    def test_run_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "CG.D", "--machine", "B", "--policy", "carrefour-lp", "--quick"]
+        )
+        assert args.workload == "CG.D"
+        assert args.machine == "B"
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "CG.D" in out
+
+    def test_run_single_benchmark(self, capsys):
+        code = main(
+            ["run", "Kmeans", "--machine", "A", "--policy", "linux-4k",
+             "--quick", "--scale", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Kmeans" in out
+        assert "runtime=" in out

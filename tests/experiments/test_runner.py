@@ -1,0 +1,99 @@
+"""Tests for the experiment runner, policy registry and CLI plumbing."""
+
+import pytest
+
+from repro.errors import UnknownPolicyError, UnknownWorkloadError
+from repro.core.carrefour import CarrefourPolicy
+from repro.core.carrefour_lp import CarrefourLpPolicy
+from repro.experiments.configs import POLICIES, make_policy
+from repro.experiments.runner import (
+    RunSettings,
+    clear_cache,
+    improvement,
+    run_benchmark,
+)
+from repro.sim.policy import LinuxPolicy
+
+
+class TestPolicyRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICIES) == {
+            "linux-4k",
+            "thp",
+            "carrefour-4k",
+            "carrefour-2m",
+            "carrefour-lp",
+            "reactive-only",
+            "conservative-only",
+            "carrefour-lp-lwp",
+            "autonuma",
+            "autonuma-4k",
+            "interleave-4k",
+            "interleave-thp",
+        }
+
+    def test_lwp_policy_flag(self):
+        policy = make_policy("carrefour-lp-lwp")
+        assert policy.lwp
+        assert not make_policy("carrefour-lp").lwp
+
+    def test_factory_types(self):
+        assert isinstance(make_policy("linux-4k"), LinuxPolicy)
+        assert isinstance(make_policy("carrefour-2m"), CarrefourPolicy)
+        assert isinstance(make_policy("carrefour-lp"), CarrefourLpPolicy)
+
+    def test_names_match(self):
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("nope")
+
+    def test_reactive_only_flags(self):
+        policy = make_policy("reactive-only")
+        assert policy.reactive is not None
+        assert policy.conservative is None
+
+    def test_conservative_only_flags(self):
+        policy = make_policy("conservative-only")
+        assert policy.reactive is None
+        assert policy.conservative is not None
+
+
+class TestRunner:
+    def test_run_benchmark_cached(self, quick_settings):
+        a = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        b = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        assert a is b  # memoised
+
+    def test_cache_key_distinguishes_policy(self, quick_settings):
+        a = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        b = run_benchmark("Kmeans", "A", "thp", quick_settings)
+        assert a is not b
+
+    def test_no_cache_option(self, quick_settings):
+        a = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        b = run_benchmark(
+            "Kmeans", "A", "linux-4k", quick_settings, use_cache=False
+        )
+        assert a is not b
+        assert a.runtime_s == b.runtime_s  # but deterministic
+
+    def test_improvement_signs(self, quick_settings):
+        imp = improvement("Kmeans", "A", "linux-4k", "linux-4k", quick_settings)
+        assert imp == pytest.approx(0.0)
+
+    def test_unknown_workload(self, quick_settings):
+        with pytest.raises(UnknownWorkloadError):
+            run_benchmark("nope", "A", "thp", quick_settings)
+
+    def test_settings_default(self):
+        settings = RunSettings()
+        assert settings.config.scale == 1.0
+
+    def test_clear_cache(self, quick_settings):
+        a = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        clear_cache()
+        b = run_benchmark("Kmeans", "A", "linux-4k", quick_settings)
+        assert a is not b

@@ -1,0 +1,72 @@
+"""Tests for the per-epoch timeline utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.timeline import (
+    convergence_epoch,
+    epoch_series,
+    render_timeline,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+        assert len(s) == 4
+
+    def test_explicit_bounds(self):
+        s = sparkline([50], lo=0, hi=100)
+        assert s in "▃▄▅"
+
+
+class TestConvergence:
+    def test_settles(self):
+        assert convergence_epoch([50, 40, 10, 5, 5], target=15) == 2
+
+    def test_never_settles(self):
+        assert convergence_epoch([50, 10, 50], target=15) == -1
+
+    def test_above_mode(self):
+        assert convergence_epoch([10, 20, 90, 95], target=80, below=False) == 2
+
+    def test_immediately_good(self):
+        assert convergence_epoch([1, 2, 3], target=15) == 0
+
+
+class TestEpochSeries:
+    def test_series_from_run(self, run):
+        result = run("CG.D", "B", "carrefour-lp")
+        series = epoch_series(result)
+        assert len(series) == len(result.epoch_times_s)
+        assert all(0 <= v <= 100 for v in series.lar_pct)
+        assert all(v >= 0 for v in series.imbalance_pct)
+        # The LP daemon split pages at some point.
+        assert sum(series.splits_2m) > 0
+
+    def test_imbalance_trajectory_improves(self, run):
+        result = run("CG.D", "B", "carrefour-lp")
+        series = epoch_series(result)
+        # Early epochs are imbalanced (THP start), late ones are fixed.
+        assert series.imbalance_pct[0] > series.imbalance_pct[-1] + 15
+
+    def test_thp_trajectory_flat(self, run):
+        result = run("CG.D", "B", "thp")
+        series = epoch_series(result)
+        assert min(series.imbalance_pct) > 40
+
+    def test_render(self, run):
+        result = run("CG.D", "B", "carrefour-lp")
+        text = render_timeline(result)
+        assert "imbalance" in text
+        assert "S" in text  # split marker
+        assert "CG.D" in text

@@ -1,0 +1,55 @@
+"""Tests for the paper-data transcription and the claim validator."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.validation import _CHECKS, validate, validate_claims
+from repro.workloads.registry import FIGURE1_ORDER
+
+
+class TestPaperData:
+    def test_every_claim_has_a_check(self):
+        for claim in paper_data.CLAIMS:
+            assert claim.claim_id in _CHECKS
+
+    def test_no_orphan_checks(self):
+        claim_ids = {c.claim_id for c in paper_data.CLAIMS}
+        assert set(_CHECKS) == claim_ids
+
+    def test_table1_cases_are_known_benchmarks(self):
+        for key in paper_data.TABLE1:
+            bench, machine = key.split("@")
+            assert bench in FIGURE1_ORDER
+            assert machine in ("A", "B")
+
+    def test_table1_signature_values(self):
+        # Spot-check the transcription against the paper's text.
+        assert paper_data.TABLE1["CG.D@B"]["perf_improvement"] == -43.0
+        assert paper_data.TABLE1["CG.D@B"]["imbalance"]["thp"] == 59.0
+        assert paper_data.TABLE1["WC@B"]["fault_pct"]["linux"] == 37.6
+        assert paper_data.TABLE1["SSCA.20@A"]["l2walk"]["linux"] == 15.0
+
+    def test_table2_hot_pages(self):
+        assert paper_data.TABLE2["CG.D"]["nhp"]["thp"] == 3
+        assert paper_data.TABLE2["UA.B"]["psp"]["thp"] == 70.0
+
+    def test_table3_recoveries(self):
+        assert paper_data.TABLE3["CG.D@B"]["imbalance"]["carrefour-lp"] == 3
+        assert paper_data.TABLE3["UA.B@A"]["lar"]["carrefour-lp"] == 85
+
+    def test_figure1_callouts(self):
+        assert paper_data.FIGURE1_CALLOUTS[("WC", "B")] == 109.0
+        assert paper_data.FIGURE1_CALLOUTS[("CG.D", "B")] == -43.0
+
+
+class TestValidation:
+    def test_all_claims_pass_at_quick_scale(self, quick_settings):
+        results = validate_claims(quick_settings)
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, f"claims failing: {failing}"
+
+    def test_report_structure(self, quick_settings):
+        report = validate(quick_settings)
+        assert report.experiment_id == "validate"
+        assert len(report.rows) == len(paper_data.CLAIMS)
+        assert "14/14" in report.title

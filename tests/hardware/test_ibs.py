@@ -1,0 +1,122 @@
+"""Tests for the IBS-style sampling engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.ibs import IbsEngine, IbsSamples
+
+
+def make_stream(n=1000, nodes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    granules = rng.integers(0, 10_000, size=n)
+    homes = rng.integers(0, nodes, size=n).astype(np.int8)
+    return granules, homes
+
+
+class TestIbsSamples:
+    def test_empty(self):
+        s = IbsSamples.empty()
+        assert len(s) == 0
+
+    def test_concatenate_empty(self):
+        assert len(IbsSamples.concatenate([])) == 0
+
+    def test_concatenate(self):
+        a = IbsSamples(
+            granule=np.array([1]),
+            accessing_node=np.array([0], dtype=np.int8),
+            home_node=np.array([1], dtype=np.int8),
+            thread=np.array([0], dtype=np.int16),
+            from_dram=np.array([True]),
+        )
+        combined = IbsSamples.concatenate([a, a])
+        assert len(combined) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IbsSamples(
+                granule=np.array([1, 2]),
+                accessing_node=np.array([0], dtype=np.int8),
+                home_node=np.array([1], dtype=np.int8),
+                thread=np.array([0], dtype=np.int16),
+                from_dram=np.array([True]),
+            )
+
+
+class TestIbsEngine:
+    def test_zero_rate_collects_nothing(self):
+        engine = IbsEngine(n_nodes=2, rate=0.0)
+        g, h = make_stream()
+        n = engine.record_epoch(0, 0, g, h, 1e6, np.random.default_rng(0))
+        assert n == 0
+        assert len(engine.drain()) == 0
+
+    def test_expected_sample_count(self):
+        engine = IbsEngine(n_nodes=2, rate=1e-3)
+        rng = np.random.default_rng(1)
+        total = 0
+        for i in range(50):
+            g, h = make_stream(seed=i)
+            total += engine.record_epoch(0, 0, g, h, 1e5, rng)
+        # Expectation: 50 epochs x 1e5 represented x 1e-3 = 5000, but
+        # capped at the stream length (1000) per epoch.
+        assert 2000 < total <= 50_000
+
+    def test_samples_reflect_stream(self):
+        engine = IbsEngine(n_nodes=2, rate=0.5)
+        g = np.full(100, 42, dtype=np.int64)
+        h = np.ones(100, dtype=np.int8)
+        engine.record_epoch(3, 1, g, h, 100, np.random.default_rng(0))
+        samples = engine.drain()
+        assert len(samples) > 0
+        assert np.all(samples.granule == 42)
+        assert np.all(samples.home_node == 1)
+        assert np.all(samples.accessing_node == 1)
+        assert np.all(samples.thread == 3)
+        assert np.all(samples.from_dram)
+
+    def test_drain_clears(self):
+        engine = IbsEngine(n_nodes=2, rate=0.5)
+        g, h = make_stream()
+        engine.record_epoch(0, 0, g, h, 1000, np.random.default_rng(0))
+        assert len(engine.drain()) > 0
+        assert len(engine.drain()) == 0
+        assert engine.pending_samples == 0
+
+    def test_per_node_buffers(self):
+        engine = IbsEngine(n_nodes=4, rate=0.5)
+        g, h = make_stream(nodes=4)
+        rng = np.random.default_rng(0)
+        for node in range(4):
+            engine.record_epoch(node, node, g, h, 1000, rng)
+        samples = engine.drain()
+        assert set(np.unique(samples.accessing_node)) == {0, 1, 2, 3}
+
+    def test_invalid_node_rejected(self):
+        engine = IbsEngine(n_nodes=2, rate=0.5)
+        g, h = make_stream()
+        with pytest.raises(ConfigurationError):
+            engine.record_epoch(0, 5, g, h, 1000, np.random.default_rng(0))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IbsEngine(n_nodes=2, rate=1.5)
+
+    def test_overhead_seconds(self):
+        engine = IbsEngine(n_nodes=2, rate=0.1, cost_cycles_per_sample=2000)
+        assert engine.overhead_seconds(1000, 2e9) == pytest.approx(1e-3)
+
+    def test_overhead_negative_rejected(self):
+        engine = IbsEngine(n_nodes=2)
+        with pytest.raises(ConfigurationError):
+            engine.overhead_seconds(-1, 2e9)
+
+    @given(rate=st.floats(min_value=1e-5, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_sample_count_bounded_by_stream(self, rate):
+        engine = IbsEngine(n_nodes=2, rate=rate)
+        g, h = make_stream(n=200)
+        n = engine.record_epoch(0, 0, g, h, 1e9, np.random.default_rng(0))
+        assert n <= 200

@@ -1,0 +1,77 @@
+"""Tests for the interconnect latency/congestion model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.machines import machine_a
+
+
+@pytest.fixture
+def topo():
+    return machine_a()
+
+
+class TestValidation:
+    def test_defaults_ok(self):
+        InterconnectModel()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(link_capacity_requests_per_sec=0)
+
+    def test_cap_below_hop(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(hop_latency_cycles=100, max_hop_latency_cycles=50)
+
+    def test_non_square_traffic_rejected(self):
+        model = InterconnectModel()
+        with pytest.raises(ConfigurationError):
+            model.link_utilisation(np.zeros((2, 3)))
+
+
+class TestHopLatency:
+    def test_local_is_free(self, topo):
+        model = InterconnectModel()
+        matrix = model.hop_latency_matrix(topo, np.zeros((4, 4)))
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_idle_latency_scales_with_hops(self, topo):
+        model = InterconnectModel(hop_latency_cycles=60)
+        matrix = model.hop_latency_matrix(topo, np.zeros((4, 4)))
+        for src in range(4):
+            for dst in range(4):
+                assert matrix[src, dst] == pytest.approx(
+                    60.0 * topo.hops(src, dst)
+                )
+
+    def test_congestion_raises_latency(self, topo):
+        model = InterconnectModel()
+        idle = model.hop_latency_matrix(topo, np.zeros((4, 4)))
+        traffic = np.full((4, 4), model.link_capacity_requests_per_sec / 8)
+        np.fill_diagonal(traffic, 0)
+        loaded = model.hop_latency_matrix(topo, traffic)
+        off_diag = ~np.eye(4, dtype=bool)
+        assert np.all(loaded[off_diag] > idle[off_diag])
+
+    def test_local_traffic_does_not_congest(self, topo):
+        model = InterconnectModel()
+        traffic = np.diag(np.full(4, 1e12))
+        util = model.link_utilisation(traffic)
+        assert np.allclose(util, 0.0)
+
+    def test_hop_latency_capped(self, topo):
+        model = InterconnectModel(max_hop_latency_cycles=300)
+        traffic = np.full((4, 4), 1e12)
+        np.fill_diagonal(traffic, 0)
+        matrix = model.hop_latency_matrix(topo, traffic)
+        assert matrix.max() <= 300 * topo.hop_matrix.max() + 1e-9
+
+    def test_utilisation_counts_both_directions(self):
+        model = InterconnectModel(link_capacity_requests_per_sec=100.0)
+        traffic = np.array([[0.0, 30.0], [10.0, 0.0]])
+        util = model.link_utilisation(traffic)
+        # Node 0 sends 30 and receives 10 -> 40 total.
+        assert util[0] == pytest.approx(0.4)
+        assert util[1] == pytest.approx(0.4)

@@ -1,0 +1,74 @@
+"""Tests for the memory-controller queueing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.mem_controller import MemoryControllerModel
+
+
+class TestValidation:
+    def test_defaults_ok(self):
+        MemoryControllerModel()
+
+    def test_bad_base_latency(self):
+        with pytest.raises(ConfigurationError):
+            MemoryControllerModel(base_latency_cycles=0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryControllerModel(capacity_requests_per_sec=0)
+
+    def test_cap_below_base(self):
+        with pytest.raises(ConfigurationError):
+            MemoryControllerModel(base_latency_cycles=500, max_latency_cycles=400)
+
+    def test_negative_rates_rejected(self):
+        model = MemoryControllerModel()
+        with pytest.raises(ConfigurationError):
+            model.latency_cycles(np.array([-1.0]))
+
+
+class TestLatencyShape:
+    def test_idle_latency_is_base(self):
+        model = MemoryControllerModel(base_latency_cycles=200)
+        lat = model.latency_cycles(np.zeros(4))
+        assert np.allclose(lat, 200.0)
+
+    def test_overload_hits_cap(self):
+        model = MemoryControllerModel(
+            base_latency_cycles=200,
+            capacity_requests_per_sec=1e8,
+            max_latency_cycles=1100,
+        )
+        lat = model.latency_cycles(np.array([1e10]))
+        assert lat[0] == pytest.approx(1100.0)
+
+    def test_paper_contention_range(self):
+        # The paper cites ~200 cycles uncontended vs ~1000 overloaded.
+        model = MemoryControllerModel()
+        idle = model.latency_cycles(np.array([0.0]))[0]
+        loaded = model.latency_cycles(
+            np.array([model.capacity_requests_per_sec * 0.99])
+        )[0]
+        assert idle == pytest.approx(200.0)
+        assert loaded >= 1000.0
+
+    def test_monotone_in_load(self):
+        model = MemoryControllerModel()
+        rates = np.linspace(0, model.capacity_requests_per_sec, 20)
+        lat = model.latency_cycles(rates)
+        assert np.all(np.diff(lat) >= -1e-9)
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_latency_bounded_property(self, rate):
+        model = MemoryControllerModel()
+        lat = model.latency_cycles(np.array([rate]))[0]
+        assert model.base_latency_cycles <= lat <= model.max_latency_cycles
+
+    def test_utilisation_clipped(self):
+        model = MemoryControllerModel(capacity_requests_per_sec=100.0)
+        rho = model.utilisation(np.array([1e9]))
+        assert rho[0] < 1.0

@@ -1,0 +1,235 @@
+"""End-to-end checks of the paper's qualitative claims.
+
+Each test asserts a *shape* from the paper — who wins, which metric
+moves in which direction — at reduced (quick) scale.  Runs are
+memoised process-wide, so the marginal cost of each assertion is low.
+"""
+
+import pytest
+
+
+class TestFigure1Table1:
+    """THP vs Linux: benefits and harms (paper Sections 1-2)."""
+
+    def test_thp_hurts_cg_on_machine_b(self, run):
+        base = run("CG.D", "B", "linux-4k")
+        thp = run("CG.D", "B", "thp")
+        assert thp.improvement_over(base) < -20.0
+
+    def test_cg_imbalance_explodes_under_thp(self, run):
+        base = run("CG.D", "B", "linux-4k").metrics()
+        thp = run("CG.D", "B", "thp").metrics()
+        assert base.imbalance_pct < 10.0
+        assert thp.imbalance_pct > 40.0
+
+    def test_thp_hurts_ua_locality(self, run):
+        base = run("UA.B", "A", "linux-4k").metrics()
+        thp = run("UA.B", "A", "thp").metrics()
+        assert base.lar_pct > 85.0
+        assert thp.lar_pct < base.lar_pct - 15.0
+
+    def test_thp_hurts_ua_performance(self, run):
+        base = run("UA.B", "A", "linux-4k")
+        thp = run("UA.B", "A", "thp")
+        assert thp.improvement_over(base) < -3.0
+
+    def test_thp_doubles_wc_on_machine_b(self, run):
+        base = run("WC", "B", "linux-4k")
+        thp = run("WC", "B", "thp")
+        assert thp.improvement_over(base) > 40.0
+
+    def test_wc_fault_bound_at_4k(self, run):
+        base = run("WC", "B", "linux-4k").metrics()
+        thp = run("WC", "B", "thp").metrics()
+        assert base.max_fault_pct > 20.0
+        assert thp.fault_time_total_s < base.fault_time_total_s
+
+    def test_ssca_is_tlb_bound_at_4k(self, run):
+        base = run("SSCA.20", "A", "linux-4k").metrics()
+        thp = run("SSCA.20", "A", "thp").metrics()
+        assert base.pct_l2_walk > 8.0
+        assert thp.pct_l2_walk < 2.0
+
+    def test_thp_helps_ssca_despite_imbalance(self, run):
+        base = run("SSCA.20", "A", "linux-4k")
+        thp = run("SSCA.20", "A", "thp")
+        assert thp.improvement_over(base) > 8.0
+        assert thp.metrics().imbalance_pct > base.metrics().imbalance_pct + 5.0
+
+    def test_no_one_size_fits_all(self, run):
+        """Figure 1's headline: THP is sometimes better, sometimes worse."""
+        wins = run("WC", "B", "thp").improvement_over(run("WC", "B", "linux-4k"))
+        loses = run("CG.D", "B", "thp").improvement_over(run("CG.D", "B", "linux-4k"))
+        assert wins > 0 > loses
+
+
+class TestTable2HotPagesAndSharing:
+    """Hot-page effect and page-level false sharing (Section 3.1)."""
+
+    def test_cg_gains_hot_pages_under_thp(self, run):
+        base = run("CG.D", "B", "linux-4k").metrics()
+        thp = run("CG.D", "B", "thp").metrics()
+        assert base.n_hot_pages == 0
+        assert 2 <= thp.n_hot_pages <= 4  # paper: 3
+
+    def test_cg_pamup_rises_under_thp(self, run):
+        base = run("CG.D", "B", "linux-4k").metrics()
+        thp = run("CG.D", "B", "thp").metrics()
+        assert base.pamup_pct < 1.0
+        assert thp.pamup_pct > 5.0
+
+    def test_hot_pages_fewer_than_nodes(self, run, machine_b_topo):
+        thp = run("CG.D", "B", "thp").metrics()
+        assert thp.n_hot_pages < machine_b_topo.n_nodes
+
+    def test_ua_psp_explodes_under_thp(self, run):
+        base = run("UA.B", "A", "linux-4k").metrics()
+        thp = run("UA.B", "A", "thp").metrics()
+        assert base.psp_pct < 40.0
+        assert thp.psp_pct > base.psp_pct + 30.0
+
+    def test_carrefour2m_cannot_remove_hot_pages(self, run):
+        carr = run("CG.D", "B", "carrefour-2m").metrics()
+        assert carr.n_hot_pages >= 2
+        assert carr.imbalance_pct > 15.0
+
+
+class TestFigure2CarrefourLimits:
+    """Carrefour-2M helps some apps but not hot pages / false sharing."""
+
+    def test_carrefour2m_fails_on_cg(self, run):
+        base = run("CG.D", "B", "linux-4k")
+        carr = run("CG.D", "B", "carrefour-2m")
+        assert carr.improvement_over(base) < -20.0
+
+    def test_carrefour2m_fails_on_ua(self, run):
+        base = run("UA.B", "A", "linux-4k")
+        carr = run("UA.B", "A", "carrefour-2m")
+        assert carr.improvement_over(base) < -3.0
+        # Interleaving shared pages leaves LAR at or below THP's level.
+        assert carr.metrics().lar_pct <= run("UA.B", "A", "thp").metrics().lar_pct + 3
+
+    def test_carrefour2m_restores_specjbb_balance(self, run):
+        thp = run("SPECjbb", "A", "thp").metrics()
+        carr = run("SPECjbb", "A", "carrefour-2m").metrics()
+        assert carr.imbalance_pct < thp.imbalance_pct - 8.0
+
+    def test_carrefour2m_beats_thp_on_specjbb(self, run):
+        base = run("SPECjbb", "A", "linux-4k")
+        assert run("SPECjbb", "A", "carrefour-2m").improvement_over(base) > run(
+            "SPECjbb", "A", "thp"
+        ).improvement_over(base)
+
+
+class TestFigure3CarrefourLp:
+    """Carrefour-LP restores what THP lost (Section 4.1)."""
+
+    def test_lp_restores_cg(self, run):
+        base = run("CG.D", "B", "linux-4k")
+        thp = run("CG.D", "B", "thp")
+        lp = run("CG.D", "B", "carrefour-lp")
+        assert lp.improvement_over(base) > thp.improvement_over(base) + 15.0
+        assert lp.improvement_over(base) > -16.0
+
+    def test_lp_rebalances_cg(self, run):
+        lp = run("CG.D", "B", "carrefour-lp").metrics()
+        thp = run("CG.D", "B", "thp").metrics()
+        assert lp.imbalance_pct < thp.imbalance_pct / 2
+
+    def test_lp_splits_cg_pages(self, run):
+        lp = run("CG.D", "B", "carrefour-lp").metrics()
+        assert lp.pages_split_2m > 0
+
+    def test_lp_restores_ua_locality(self, run):
+        thp = run("UA.B", "A", "thp").metrics()
+        lp = run("UA.B", "A", "carrefour-lp").metrics()
+        assert lp.lar_pct > thp.lar_pct + 5.0
+
+    def test_lp_beats_thp_on_ua(self, run):
+        base = run("UA.B", "A", "linux-4k")
+        assert run("UA.B", "A", "carrefour-lp").improvement_over(base) > run(
+            "UA.B", "A", "thp"
+        ).improvement_over(base)
+
+    def test_lp_beats_thp_on_specjbb_b(self, run):
+        base = run("SPECjbb", "B", "linux-4k")
+        assert run("SPECjbb", "B", "carrefour-lp").improvement_over(base) > run(
+            "SPECjbb", "B", "thp"
+        ).improvement_over(base)
+
+
+class TestFigure4Components:
+    """Component ablation (Section 4.1, Figure 4)."""
+
+    def test_conservative_only_avoids_cg_damage(self, run):
+        base = run("CG.D", "B", "linux-4k")
+        cons = run("CG.D", "B", "conservative-only")
+        # Starting at 4KB, CG never shows TLB pressure, so the
+        # conservative config stays near Linux performance.
+        assert abs(cons.improvement_over(base)) < 10.0
+
+    def test_conservative_only_misses_wc_startup(self, run):
+        base = run("WC", "B", "linux-4k")
+        cons = run("WC", "B", "conservative-only")
+        thp = run("WC", "B", "thp")
+        # Large pages arrive too late for the allocation storm.
+        assert cons.improvement_over(base) < thp.improvement_over(base) - 15.0
+
+    def test_reactive_only_matches_lp_on_ua(self, run):
+        base = run("UA.B", "A", "linux-4k")
+        lp = run("UA.B", "A", "carrefour-lp").improvement_over(base)
+        reactive = run("UA.B", "A", "reactive-only").improvement_over(base)
+        assert abs(lp - reactive) < 6.0
+
+    def test_reactive_only_missplits_ssca(self, run):
+        base = run("SSCA.20", "A", "linux-4k")
+        reactive = run("SSCA.20", "A", "reactive-only")
+        carr = run("SSCA.20", "A", "carrefour-2m")
+        # The misestimated split costs performance vs Carrefour-2M.
+        assert reactive.improvement_over(base) < carr.improvement_over(base) - 5.0
+
+    def test_lp_close_to_best_for_cg(self, run):
+        base = run("CG.D", "B", "linux-4k")
+        improvements = {
+            policy: run("CG.D", "B", policy).improvement_over(base)
+            for policy in ("carrefour-2m", "conservative-only", "reactive-only", "carrefour-lp")
+        }
+        best = max(improvements.values())
+        assert improvements["carrefour-lp"] > best - 12.0
+
+
+class TestFigure5Unaffected:
+    """Carrefour-LP must not hurt the unaffected applications."""
+
+    @pytest.mark.parametrize("bench", ["Kmeans", "BT.B", "MG.D"])
+    def test_lp_harmless(self, run, bench):
+        base = run(bench, "A", "linux-4k")
+        lp = run(bench, "A", "carrefour-lp")
+        assert lp.improvement_over(base) > -8.0
+
+    def test_lp_fixes_preexisting_issues_pca(self, run):
+        base = run("pca", "B", "linux-4k")
+        lp = run("pca", "B", "carrefour-lp")
+        thp = run("pca", "B", "thp")
+        assert lp.improvement_over(base) > 40.0
+        assert lp.improvement_over(base) > thp.improvement_over(base)
+
+    def test_lp_fixes_preexisting_issues_ep(self, run):
+        base = run("EP.C", "B", "linux-4k")
+        lp = run("EP.C", "B", "carrefour-lp")
+        assert lp.improvement_over(base) > 5.0
+
+
+class TestOverhead:
+    """Section 4.2: Carrefour-LP overhead is modest where it cannot help."""
+
+    def test_lp_overhead_on_lu(self, run):
+        carr = run("LU.B", "B", "carrefour-2m")
+        lp = run("LU.B", "B", "carrefour-lp")
+        overhead = (lp.runtime_s / carr.runtime_s - 1.0) * 100.0
+        assert overhead < 8.0
+
+    def test_lp_overhead_vs_linux_on_neutral_app(self, run):
+        base = run("Kmeans", "A", "linux-4k")
+        lp = run("Kmeans", "A", "carrefour-lp")
+        assert (lp.runtime_s / base.runtime_s - 1.0) * 100.0 < 8.0

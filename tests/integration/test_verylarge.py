@@ -1,0 +1,44 @@
+"""Section 4.4: very large (1GB) pages make NUMA issues pervasive."""
+
+import pytest
+
+from repro.vm.layout import PageSize
+
+
+class TestVeryLargePages:
+    def test_streamcluster_collapses_under_1g(self, run):
+        base = run("streamcluster", "B", "linux-4k")
+        huge = run("streamcluster", "B", "linux-4k", backing_1g=True)
+        # Paper: ~4x degradation; we require at least 1.5x.
+        assert huge.runtime_s > 1.5 * base.runtime_s
+
+    def test_streamcluster_fine_at_2m(self, run):
+        base = run("streamcluster", "B", "linux-4k")
+        thp = run("streamcluster", "B", "thp")
+        assert abs(thp.improvement_over(base)) < 15.0
+
+    def test_ssca_degrades_under_1g(self, run):
+        base = run("SSCA.20", "B", "linux-4k")
+        huge = run("SSCA.20", "B", "linux-4k", backing_1g=True)
+        assert huge.improvement_over(base) < -15.0
+
+    def test_1g_pages_actually_used(self, run):
+        huge = run("streamcluster", "B", "linux-4k", backing_1g=True)
+        assert huge.metrics().final_page_counts[PageSize.SIZE_1G] > 0
+
+    def test_1g_concentrates_traffic(self, run):
+        base = run("streamcluster", "B", "linux-4k").metrics()
+        huge = run("streamcluster", "B", "linux-4k", backing_1g=True).metrics()
+        assert huge.imbalance_pct > base.imbalance_pct + 30.0
+
+    def test_1g_inflates_sharing(self, run):
+        base = run("streamcluster", "B", "linux-4k").metrics()
+        huge = run("streamcluster", "B", "linux-4k", backing_1g=True).metrics()
+        assert huge.psp_pct > base.psp_pct + 30.0
+
+    def test_lp_recovers_1g_streamcluster(self, run):
+        base = run("streamcluster", "B", "linux-4k")
+        huge = run("streamcluster", "B", "linux-4k", backing_1g=True)
+        lp = run("streamcluster", "B", "carrefour-lp", backing_1g=True)
+        assert lp.runtime_s < huge.runtime_s
+        assert lp.metrics().pages_split_1g > 0

@@ -1,0 +1,101 @@
+"""Tests for shared helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro._util import (
+    as_int_array,
+    ceil_div,
+    human_bytes,
+    pct,
+    rng_for,
+    stable_seed,
+)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_part_boundaries_matter(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    def test_64_bit_range(self):
+        seed = stable_seed("x")
+        assert 0 <= seed < 2**64
+
+
+class TestRngFor:
+    def test_same_parts_same_stream(self):
+        a = rng_for("w", 0).random(5)
+        b = rng_for("w", 0).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_parts_differ(self):
+        a = rng_for("w", 0).random(5)
+        b = rng_for("w", 1).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestAsIntArray:
+    def test_scalar_becomes_1d(self):
+        arr = as_int_array(7)
+        assert arr.shape == (1,)
+        assert arr.dtype == np.int64
+
+    def test_list(self):
+        arr = as_int_array([1, 2, 3])
+        assert arr.tolist() == [1, 2, 3]
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestFormatting:
+    def test_pct(self):
+        assert pct(12.345) == "12.3%"
+
+    def test_human_bytes_small(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_human_bytes_kib(self):
+        assert human_bytes(2048) == "2.0 KiB"
+
+    def test_human_bytes_gib(self):
+        assert human_bytes(7 * (1 << 30)) == "7.0 GiB"
+
+    def test_human_bytes_huge(self):
+        assert "TiB" in human_bytes(1 << 45)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.AllocationError,
+            errors.MappingError,
+            errors.SimulationError,
+            errors.UnknownWorkloadError,
+            errors.UnknownPolicyError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(errors.UnknownWorkloadError, KeyError)
+        assert issubclass(errors.UnknownPolicyError, KeyError)

@@ -1,0 +1,355 @@
+"""Tests for the multi-size address space, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.vm.address_space import (
+    AddressSpace,
+    BACKING_ID_1G_OFFSET,
+    BACKING_ID_2M_OFFSET,
+)
+from repro.vm.frame_allocator import PhysicalMemory
+from repro.vm.layout import GRANULES_PER_1G, GRANULES_PER_2M, PAGE_2M, PageSize
+
+GIB = 1 << 30
+
+
+def make_asp(n_chunks=8, n_nodes=2, dram=GIB):
+    phys = PhysicalMemory([dram] * n_nodes)
+    return AddressSpace(n_chunks * GRANULES_PER_2M, phys)
+
+
+class TestFaulting:
+    def test_unmapped_reads_negative(self):
+        asp = make_asp()
+        homes = asp.home_nodes(np.array([0, 100]))
+        assert np.all(homes == -1)
+
+    def test_fault_in_4k(self):
+        asp = make_asp()
+        stats = asp.fault_in(np.array([5, 6, 7]), node=1, thp_alloc=False)
+        assert stats.faults_4k == 3
+        assert stats.faults_2m == 0
+        assert np.all(asp.home_nodes(np.array([5, 6, 7])) == 1)
+        asp.check_invariants()
+
+    def test_fault_in_thp_backs_whole_chunk(self):
+        asp = make_asp()
+        stats = asp.fault_in(np.array([5]), node=0, thp_alloc=True)
+        assert stats.faults_2m == 1
+        homes = asp.home_nodes(np.arange(GRANULES_PER_2M))
+        assert np.all(homes == 0)
+        asp.check_invariants()
+
+    def test_fault_in_partially_mapped_chunk_falls_back_to_4k(self):
+        asp = make_asp()
+        asp.fault_in(np.array([5]), node=0, thp_alloc=False)
+        stats = asp.fault_in(np.array([6]), node=1, thp_alloc=True)
+        assert stats.faults_4k == 1
+        assert stats.faults_2m == 0
+
+    def test_fault_in_already_mapped_is_noop(self):
+        asp = make_asp()
+        asp.fault_in(np.array([5]), node=0, thp_alloc=False)
+        stats = asp.fault_in(np.array([5, 5, 5]), node=1, thp_alloc=False)
+        assert stats.total == 0
+        assert asp.home_nodes(np.array([5]))[0] == 0  # first touch wins
+
+    def test_fault_falls_back_when_node_full(self):
+        # Node 0 has a single 2MB page worth of memory.
+        phys = PhysicalMemory([PAGE_2M, GIB])
+        asp = AddressSpace(4 * GRANULES_PER_2M, phys)
+        asp.fault_in(np.arange(GRANULES_PER_2M), node=0, thp_alloc=False)
+        stats = asp.fault_in(
+            np.arange(GRANULES_PER_2M, GRANULES_PER_2M + 4), node=0, thp_alloc=False
+        )
+        assert stats.faults_4k == 4
+        assert np.all(
+            asp.home_nodes(np.arange(GRANULES_PER_2M, GRANULES_PER_2M + 4)) == 1
+        )
+
+    def test_empty_fault(self):
+        asp = make_asp()
+        assert asp.fault_in(np.empty(0, dtype=np.int64), 0, True).total == 0
+
+
+class TestPremap:
+    def test_premap_range_thp(self):
+        asp = make_asp()
+        stats = asp.premap_range(0, 2 * GRANULES_PER_2M, node=1, thp_alloc=True)
+        assert stats.faults_2m == 2
+        assert asp.page_counts()[PageSize.SIZE_2M] == 2
+
+    def test_premap_range_4k(self):
+        asp = make_asp()
+        stats = asp.premap_range(10, 20, node=0, thp_alloc=False)
+        assert stats.faults_4k == 20
+
+    def test_premap_range_partial_chunk_under_thp(self):
+        asp = make_asp()
+        stats = asp.premap_range(0, 100, node=0, thp_alloc=True)
+        # Not a whole chunk: mapped 4K even with THP on.
+        assert stats.faults_4k == 100
+        assert stats.faults_2m == 0
+
+    def test_premap_out_of_range(self):
+        asp = make_asp(n_chunks=1)
+        with pytest.raises(MappingError):
+            asp.premap_range(0, GRANULES_PER_2M + 1, 0, False)
+
+    def test_premap_pattern_4k(self):
+        asp = make_asp()
+        nodes = np.array([0, 1] * 256, dtype=np.int8)
+        asp.premap_pattern_4k(0, nodes)
+        homes = asp.home_nodes(np.arange(512))
+        assert np.array_equal(homes, nodes)
+        asp.check_invariants()
+
+    def test_premap_pattern_4k_overlap_rejected(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(10, dtype=np.int8))
+        with pytest.raises(MappingError):
+            asp.premap_pattern_4k(5, np.zeros(10, dtype=np.int8))
+
+    def test_premap_pattern_4k_bad_nodes(self):
+        asp = make_asp()
+        with pytest.raises(MappingError):
+            asp.premap_pattern_4k(0, np.array([7], dtype=np.int8))
+
+    def test_premap_pattern_2m(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0, 1, 0], dtype=np.int8))
+        assert asp.page_counts()[PageSize.SIZE_2M] == 3
+        assert asp.node_of_backing(BACKING_ID_2M_OFFSET + 1) == 1
+        asp.check_invariants()
+
+    def test_premap_pattern_2m_overlap_rejected(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        with pytest.raises(MappingError):
+            asp.premap_pattern_2m(0, np.array([1], dtype=np.int8))
+
+
+class TestBackingInfo:
+    def test_mixed_backing(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        asp.premap_pattern_4k(GRANULES_PER_2M, np.ones(4, dtype=np.int8))
+        g = np.array([0, 5, GRANULES_PER_2M, GRANULES_PER_2M + 3])
+        ids, sizes = asp.backing_info(g)
+        assert ids[0] == ids[1] == BACKING_ID_2M_OFFSET
+        assert ids[2] == GRANULES_PER_2M
+        assert sizes[0] == int(PageSize.SIZE_2M)
+        assert sizes[2] == int(PageSize.SIZE_4K)
+
+    def test_backing_id_kind(self):
+        assert AddressSpace.backing_id_kind(7) is PageSize.SIZE_4K
+        assert AddressSpace.backing_id_kind(BACKING_ID_2M_OFFSET) is PageSize.SIZE_2M
+        assert AddressSpace.backing_id_kind(BACKING_ID_1G_OFFSET) is PageSize.SIZE_1G
+
+    def test_granules_of_backing(self):
+        asp = make_asp()
+        g = asp.granules_of_backing(BACKING_ID_2M_OFFSET + 1)
+        assert g[0] == GRANULES_PER_2M
+        assert len(g) == GRANULES_PER_2M
+
+    def test_backing_is_live(self):
+        asp = make_asp()
+        assert not asp.backing_is_live(0)
+        assert not asp.backing_is_live(BACKING_ID_2M_OFFSET)
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        assert asp.backing_is_live(BACKING_ID_2M_OFFSET)
+        asp.split_chunk(0)
+        assert not asp.backing_is_live(BACKING_ID_2M_OFFSET)
+        assert asp.backing_is_live(0)
+
+
+class TestSplitCollapse:
+    def test_split_preserves_homes(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([1], dtype=np.int8))
+        used_before = asp.phys[1].used_bytes
+        asp.split_chunk(0)
+        homes = asp.home_nodes(np.arange(GRANULES_PER_2M))
+        assert np.all(homes == 1)
+        assert asp.phys[1].used_bytes == used_before
+        asp.check_invariants()
+
+    def test_split_not_huge_rejected(self):
+        asp = make_asp()
+        with pytest.raises(MappingError):
+            asp.split_chunk(0)
+
+    def test_collapse_plurality_node(self):
+        asp = make_asp()
+        nodes = np.concatenate(
+            [np.zeros(200, dtype=np.int8), np.ones(312, dtype=np.int8)]
+        )
+        asp.premap_pattern_4k(0, nodes)
+        assert asp.collapse_chunk(0)
+        assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+        asp.check_invariants()
+
+    def test_collapse_partial_chunk_refused(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(100, dtype=np.int8))
+        assert not asp.collapse_chunk(0)
+
+    def test_collapse_explicit_node(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(512, dtype=np.int8))
+        assert asp.collapse_chunk(0, node=1)
+        assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+
+    def test_split_collapse_roundtrip_accounting(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        before = asp.phys.total_used_bytes
+        asp.split_chunk(0)
+        asp.collapse_chunk(0)
+        assert asp.phys.total_used_bytes == before
+        asp.check_invariants()
+
+
+class TestMigration:
+    def test_migrate_4k(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(4, dtype=np.int8))
+        moved = asp.migrate_backing(2, 1)
+        assert moved == 4096
+        assert asp.home_nodes(np.array([2]))[0] == 1
+
+    def test_migrate_4k_same_node_is_noop(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(1, dtype=np.int8))
+        assert asp.migrate_backing(0, 0) == 0
+
+    def test_migrate_2m(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        moved = asp.migrate_backing(BACKING_ID_2M_OFFSET, 1)
+        assert moved == PAGE_2M
+        assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+        asp.check_invariants()
+
+    def test_migrate_unmapped_rejected(self):
+        asp = make_asp()
+        with pytest.raises(MappingError):
+            asp.migrate_backing(0, 1)
+
+    def test_migrate_bad_node_rejected(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(1, dtype=np.int8))
+        with pytest.raises(MappingError):
+            asp.migrate_backing(0, 9)
+
+    def test_migrate_full_destination_skipped(self):
+        phys = PhysicalMemory([GIB, PAGE_2M])
+        asp = AddressSpace(4 * GRANULES_PER_2M, phys)
+        asp.premap_pattern_2m(0, np.array([0, 0], dtype=np.int8))
+        phys[1].alloc_small(512)  # fill node 1 entirely
+        assert asp.migrate_backing(BACKING_ID_2M_OFFSET, 1) == 0
+
+    def test_migrate_granules_bulk(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(8, dtype=np.int8))
+        g = np.arange(8)
+        dst = np.array([0, 1] * 4)
+        moved = asp.migrate_granules(g, dst)
+        assert moved == 4 * 4096
+        assert np.array_equal(asp.home_nodes(g), dst.astype(np.int8))
+        asp.check_invariants()
+
+    def test_migrate_granules_requires_4k(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        with pytest.raises(MappingError):
+            asp.migrate_granules(np.array([0]), np.array([1]))
+
+
+class Test1GPages:
+    def make_1g_asp(self):
+        phys = PhysicalMemory([4 * GIB, 4 * GIB])
+        return AddressSpace(2 * GRANULES_PER_1G, phys)
+
+    def test_map_1g(self):
+        asp = self.make_1g_asp()
+        stats = asp.map_range_1g(0, GRANULES_PER_1G, node=1)
+        assert stats.faults_1g == 1
+        assert asp.home_nodes(np.array([0, GRANULES_PER_1G - 1])).tolist() == [1, 1]
+        asp.check_invariants()
+
+    def test_map_1g_misaligned_rejected(self):
+        asp = self.make_1g_asp()
+        with pytest.raises(MappingError):
+            asp.map_range_1g(512, GRANULES_PER_1G, 0)
+
+    def test_map_1g_overlap_rejected(self):
+        asp = self.make_1g_asp()
+        asp.premap_pattern_4k(0, np.zeros(4, dtype=np.int8))
+        with pytest.raises(MappingError):
+            asp.map_range_1g(0, GRANULES_PER_1G, 0)
+
+    def test_split_1g(self):
+        asp = self.make_1g_asp()
+        asp.map_range_1g(0, GRANULES_PER_1G, node=0)
+        asp.split_gchunk(0)
+        homes = asp.home_nodes(np.array([0, GRANULES_PER_1G - 1]))
+        assert np.all(homes == 0)
+        assert asp.page_counts()[PageSize.SIZE_1G] == 0
+        asp.check_invariants()
+
+    def test_migrate_1g(self):
+        asp = self.make_1g_asp()
+        asp.map_range_1g(0, GRANULES_PER_1G, node=0)
+        moved = asp.migrate_backing(BACKING_ID_1G_OFFSET, 1)
+        assert moved == 1 << 30
+        assert asp.node_of_backing(BACKING_ID_1G_OFFSET) == 1
+
+
+class TestIntrospection:
+    def test_mapped_bytes(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        asp.premap_pattern_4k(GRANULES_PER_2M, np.ones(3, dtype=np.int8))
+        assert asp.mapped_bytes() == PAGE_2M + 3 * 4096
+
+    def test_bytes_per_node(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0, 1], dtype=np.int8))
+        per = asp.bytes_per_node()
+        assert per[0] == PAGE_2M
+        assert per[1] == PAGE_2M
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7), st.integers(0, 1)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_op_sequences_keep_invariants(self, ops):
+        """Random premap/split/collapse/migrate sequences stay consistent."""
+        asp = make_asp(n_chunks=8, n_nodes=2)
+        for op, chunk, node in ops:
+            if op == 0:  # premap huge if fully unmapped
+                if not asp.huge[chunk] and asp.mapped_count_2m[chunk] == 0:
+                    asp.premap_pattern_2m(chunk, np.array([node], dtype=np.int8))
+            elif op == 1:  # split if huge
+                if asp.huge[chunk]:
+                    asp.split_chunk(chunk)
+            elif op == 2:  # collapse (may refuse)
+                asp.collapse_chunk(chunk)
+            else:  # migrate whichever backing exists at chunk start
+                g = chunk * GRANULES_PER_2M
+                ids, _ = asp.backing_info(np.array([g]))
+                if asp.backing_is_live(int(ids[0])):
+                    asp.migrate_backing(int(ids[0]), node)
+        asp.check_invariants()
+        # Physical accounting matches the mapping.
+        assert asp.phys.total_used_bytes == asp.mapped_bytes()

@@ -1,0 +1,61 @@
+"""Tests for the 1GB-page (hugetlbfs-style) backing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, MappingError
+from repro.vm.address_space import AddressSpace
+from repro.vm.frame_allocator import PhysicalMemory
+from repro.vm.hugetlbfs import (
+    list_1g_pages,
+    reserve_1g_region,
+    round_up_granules_1g,
+)
+from repro.vm.layout import GRANULES_PER_1G, PageSize
+
+GIB = 1 << 30
+
+
+def make_asp(n_gchunks=4, dram_per_node=4 * GIB):
+    phys = PhysicalMemory([dram_per_node, dram_per_node])
+    return AddressSpace(n_gchunks * GRANULES_PER_1G, phys)
+
+
+class TestReserve:
+    def test_single_node_reservation(self):
+        asp = make_asp()
+        stats = reserve_1g_region(asp, 0, 2 * GRANULES_PER_1G, preferred_node=0)
+        assert stats.faults_1g == 2
+        assert asp.page_counts()[PageSize.SIZE_1G] == 2
+        # All on the preferred node: the paper's hot-node pathology.
+        assert asp.node_of_backing(list_1g_pages(asp)[0]) == 0
+
+    def test_spread_round_robin(self):
+        asp = make_asp()
+        reserve_1g_region(asp, 0, 2 * GRANULES_PER_1G, preferred_node=0, spread=True)
+        nodes = {asp.node_of_backing(p) for p in list_1g_pages(asp)}
+        assert nodes == {0, 1}
+
+    def test_misaligned_rejected(self):
+        asp = make_asp()
+        with pytest.raises(MappingError):
+            reserve_1g_region(asp, 512, GRANULES_PER_1G, 0)
+
+    def test_pool_exhaustion_raises(self):
+        asp = make_asp(n_gchunks=4, dram_per_node=GIB)
+        with pytest.raises(AllocationError):
+            reserve_1g_region(asp, 0, 3 * GRANULES_PER_1G, preferred_node=0)
+
+
+class TestHelpers:
+    def test_round_up(self):
+        assert round_up_granules_1g(0) == 0
+        assert round_up_granules_1g(1) == GRANULES_PER_1G
+        assert round_up_granules_1g(GRANULES_PER_1G) == GRANULES_PER_1G
+
+    def test_round_up_negative(self):
+        with pytest.raises(MappingError):
+            round_up_granules_1g(-1)
+
+    def test_list_pages_empty(self):
+        assert list_1g_pages(make_asp()) == []

@@ -1,0 +1,78 @@
+"""Tests for page-size constants and granule arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.vm.layout import (
+    CHUNKS_2M_PER_1G,
+    GRANULES_PER_1G,
+    GRANULES_PER_2M,
+    ORDER_1G,
+    ORDER_2M,
+    ORDER_4K,
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    PageSize,
+    chunk_1g_of,
+    chunk_2m_of,
+    chunks_1g_of_granules,
+    chunks_2m_of_granules,
+    granules_of_bytes,
+)
+
+
+class TestConstants:
+    def test_granules_per_page(self):
+        assert GRANULES_PER_2M == 512
+        assert GRANULES_PER_1G == 512 * 512
+        assert CHUNKS_2M_PER_1G == 512
+
+    def test_orders(self):
+        assert 2**ORDER_4K * PAGE_4K == PAGE_4K
+        assert 2**ORDER_2M * PAGE_4K == PAGE_2M
+        assert 2**ORDER_1G * PAGE_4K == PAGE_1G
+
+
+class TestPageSize:
+    def test_granules(self):
+        assert PageSize.SIZE_4K.granules == 1
+        assert PageSize.SIZE_2M.granules == 512
+        assert PageSize.SIZE_1G.granules == 262144
+
+    def test_order(self):
+        assert PageSize.SIZE_4K.order == 0
+        assert PageSize.SIZE_2M.order == 9
+        assert PageSize.SIZE_1G.order == 18
+
+
+class TestArithmetic:
+    def test_granules_of_bytes_rounds_up(self):
+        assert granules_of_bytes(1) == 1
+        assert granules_of_bytes(4096) == 1
+        assert granules_of_bytes(4097) == 2
+
+    def test_granules_of_bytes_zero(self):
+        assert granules_of_bytes(0) == 0
+
+    def test_granules_of_bytes_negative(self):
+        with pytest.raises(ValueError):
+            granules_of_bytes(-1)
+
+    def test_chunk_counts_round_up(self):
+        assert chunks_2m_of_granules(1) == 1
+        assert chunks_2m_of_granules(512) == 1
+        assert chunks_2m_of_granules(513) == 2
+        assert chunks_1g_of_granules(262144) == 1
+        assert chunks_1g_of_granules(262145) == 2
+
+    def test_chunk_counts_negative(self):
+        with pytest.raises(ValueError):
+            chunks_2m_of_granules(-1)
+        with pytest.raises(ValueError):
+            chunks_1g_of_granules(-1)
+
+    def test_chunk_of_vectorised(self):
+        g = np.array([0, 511, 512, 262143, 262144])
+        assert list(chunk_2m_of(g)) == [0, 0, 1, 511, 512]
+        assert list(chunk_1g_of(g)) == [0, 0, 0, 0, 1]

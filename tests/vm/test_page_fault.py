@@ -1,0 +1,83 @@
+"""Tests for the page-fault cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.vm.page_fault import PageFaultModel
+
+
+class TestValidation:
+    def test_defaults_ok(self):
+        PageFaultModel()
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageFaultModel(base_cost_4k_s=0)
+
+    def test_negative_contention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageFaultModel(contention_per_thread=-0.1)
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageFaultModel(max_contention_multiplier=0.5)
+
+
+class TestContention:
+    def test_single_thread_no_contention(self):
+        model = PageFaultModel()
+        assert model.contention_multiplier(1) == 1.0
+        assert model.contention_multiplier(0) == 1.0
+
+    def test_multiplier_grows_with_threads(self):
+        model = PageFaultModel(contention_per_thread=0.5)
+        assert model.contention_multiplier(3) == pytest.approx(2.0)
+
+    def test_multiplier_capped(self):
+        model = PageFaultModel(
+            contention_per_thread=1.0, max_contention_multiplier=4.0
+        )
+        assert model.contention_multiplier(100) == 4.0
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageFaultModel().contention_multiplier(-1)
+
+
+class TestHandlerTime:
+    def test_2m_fault_cheaper_per_byte(self):
+        model = PageFaultModel()
+        # Same memory: 512 4K faults vs one 2M fault.
+        t_4k = model.handler_time_s(512, 0, 0, 1)
+        t_2m = model.handler_time_s(0, 1, 0, 1)
+        assert t_2m < t_4k
+
+    def test_2m_fault_costlier_each(self):
+        model = PageFaultModel()
+        assert model.base_cost_2m_s > model.base_cost_4k_s
+
+    def test_zero_faults(self):
+        assert PageFaultModel().handler_time_s(0, 0, 0, 10) == 0.0
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageFaultModel().handler_time_s(-1, 0, 0, 1)
+
+    def test_contention_scales_total(self):
+        model = PageFaultModel(contention_per_thread=0.5)
+        alone = model.handler_time_s(100, 0, 0, 1)
+        crowded = model.handler_time_s(100, 0, 0, 5)
+        assert crowded == pytest.approx(alone * 3.0)
+
+    @given(
+        f4=st.integers(0, 10_000),
+        f2=st.integers(0, 100),
+        threads=st.integers(0, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_time_nonnegative_and_monotone(self, f4, f2, threads):
+        model = PageFaultModel()
+        t = model.handler_time_s(f4, f2, 0, threads)
+        assert t >= 0.0
+        assert model.handler_time_s(f4 + 1, f2, 0, threads) >= t

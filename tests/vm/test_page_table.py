@@ -1,0 +1,87 @@
+"""Tests for the page-table footprint model."""
+
+import numpy as np
+import pytest
+
+from repro.vm.address_space import AddressSpace
+from repro.vm.frame_allocator import PhysicalMemory
+from repro.vm.layout import GRANULES_PER_2M, PAGE_4K, PageSize
+from repro.vm.page_table import ENTRIES_PER_TABLE, PageTableModel
+
+GIB = 1 << 30
+
+
+def make_asp(n_chunks=8):
+    phys = PhysicalMemory([GIB, GIB])
+    return AddressSpace(n_chunks * GRANULES_PER_2M, phys)
+
+
+class TestFootprint:
+    def test_empty_space(self):
+        fp = PageTableModel().footprint(make_asp())
+        assert fp.pte_tables == 0
+        assert fp.total_bytes == 0
+
+    def test_one_4k_mapping_needs_full_chain(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(1, dtype=np.int8))
+        fp = PageTableModel().footprint(asp)
+        assert fp.pte_tables == 1
+        assert fp.pmd_tables == 1
+        assert fp.pud_tables == 1
+        assert fp.pgd_tables == 1
+        assert fp.total_tables == 4
+
+    def test_huge_pages_skip_pte_level(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0, 0, 0], dtype=np.int8))
+        fp = PageTableModel().footprint(asp)
+        assert fp.pte_tables == 0
+        assert fp.pmd_tables == 1
+
+    def test_4k_needs_one_pte_table_per_chunk(self):
+        asp = make_asp(n_chunks=4)
+        for chunk in range(4):
+            asp.premap_pattern_4k(
+                chunk * GRANULES_PER_2M, np.zeros(1, dtype=np.int8)
+            )
+        fp = PageTableModel().footprint(asp)
+        assert fp.pte_tables == 4
+
+    def test_split_grows_tables(self):
+        asp = make_asp()
+        asp.premap_pattern_2m(0, np.array([0], dtype=np.int8))
+        model = PageTableModel()
+        before = model.footprint(asp).total_tables
+        asp.split_chunk(0)
+        after = model.footprint(asp).total_tables
+        assert after == before + 1
+
+
+class TestClosedForm:
+    def test_zero_bytes(self):
+        assert PageTableModel().bytes_for_fully_mapped(0, PageSize.SIZE_4K) == 0
+
+    def test_4k_tables_dominate(self):
+        model = PageTableModel()
+        four_k = model.bytes_for_fully_mapped(GIB, PageSize.SIZE_4K)
+        two_m = model.bytes_for_fully_mapped(GIB, PageSize.SIZE_2M)
+        # 1GB at 4K needs 512 PTE tables (2MB) plus upper levels.
+        assert four_k > 512 * PAGE_4K
+        assert two_m < four_k / 100
+
+    def test_oracle_motivation_scenario(self):
+        # The paper's motivation: ~7GB of page tables for a large DBMS
+        # with 500 connections each mapping a shared buffer cache.
+        model = PageTableModel()
+        out = model.footprint_per_process(
+            mapped_bytes=7 * GIB, page_size=PageSize.SIZE_4K, n_processes=500
+        )
+        assert out["total_bytes"] > 6 * GIB
+        out_2m = model.footprint_per_process(
+            mapped_bytes=7 * GIB, page_size=PageSize.SIZE_2M, n_processes=500
+        )
+        assert out_2m["total_bytes"] < out["total_bytes"] / 100
+
+    def test_entries_per_table(self):
+        assert ENTRIES_PER_TABLE == 512

@@ -1,0 +1,167 @@
+"""Tests for trace recording, persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.policy import LinuxPolicy
+from repro.workloads.base import CostProfile, WorkloadInstance
+from repro.workloads.regions import PartitionedRegion, SharedRegion
+from repro.workloads.trace import TraceData, TraceRecorder, TraceWorkloadInstance
+
+MIB = 1 << 20
+
+
+def make_instance(machine, epochs=3):
+    cost = CostProfile(cpu_seconds=0.05, mem_accesses=1e6, dram_accesses=1e5)
+    return WorkloadInstance(
+        "toy",
+        machine,
+        [
+            PartitionedRegion("p", 2 * MIB, 0.6),
+            SharedRegion("s", 4 * MIB, 0.4, write_fraction=0.3),
+        ],
+        cost,
+        total_epochs=epochs,
+    )
+
+
+def make_trace(machine, epochs=3, stream_length=256):
+    inst = make_instance(machine, epochs)
+    return TraceRecorder().record(inst, stream_length=stream_length), inst
+
+
+class TestTraceData:
+    def test_record_shape(self, tiny_topo):
+        trace, inst = make_trace(tiny_topo)
+        assert trace.n_threads == inst.n_threads
+        assert trace.total_epochs == 3
+        assert len(trace) == 3 * inst.n_threads * 256
+        assert trace.is_write.any()
+        assert not trace.is_write.all()
+
+    def test_validation_granule_range(self):
+        cost = CostProfile(cpu_seconds=0.1, mem_accesses=10, dram_accesses=5)
+        with pytest.raises(ConfigurationError):
+            TraceData(
+                n_threads=1,
+                n_granules=4,
+                total_epochs=1,
+                thread=np.array([0]),
+                epoch=np.array([0]),
+                granule=np.array([9]),
+                is_write=np.array([False]),
+                cost=cost,
+            )
+
+    def test_validation_array_lengths(self):
+        cost = CostProfile(cpu_seconds=0.1, mem_accesses=10, dram_accesses=5)
+        with pytest.raises(ConfigurationError):
+            TraceData(
+                n_threads=1,
+                n_granules=4,
+                total_epochs=1,
+                thread=np.array([0, 0]),
+                epoch=np.array([0]),
+                granule=np.array([1]),
+                is_write=np.array([False]),
+                cost=cost,
+            )
+
+    def test_save_load_roundtrip(self, tiny_topo, tmp_path):
+        trace, _ = make_trace(tiny_topo)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = TraceData.load(path)
+        assert loaded.n_threads == trace.n_threads
+        assert np.array_equal(loaded.granule, trace.granule)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+        assert loaded.cost.dram_accesses == trace.cost.dram_accesses
+        assert loaded.tlb_run_length == trace.tlb_run_length
+
+
+class TestRecorder:
+    def test_deterministic(self, tiny_topo):
+        a, _ = make_trace(tiny_topo)
+        b, _ = make_trace(tiny_topo)
+        assert np.array_equal(a.granule, b.granule)
+
+    def test_bad_stream_length(self, tiny_topo):
+        inst = make_instance(tiny_topo)
+        with pytest.raises(ConfigurationError):
+            TraceRecorder().record(inst, stream_length=0)
+
+
+class TestReplay:
+    def test_replay_runs(self, tiny_topo):
+        trace, _ = make_trace(tiny_topo)
+        replay = TraceWorkloadInstance("toy-replay", tiny_topo, trace)
+        result = Simulation(
+            tiny_topo, replay, LinuxPolicy(False), SimConfig(stream_length=256)
+        ).run()
+        assert result.runtime_s > 0
+        assert result.bank.total("l2_data_misses") > 0
+
+    def test_replay_matches_live_access_volume(self, tiny_topo):
+        trace, inst = make_trace(tiny_topo)
+        live = Simulation(
+            tiny_topo, inst, LinuxPolicy(False), SimConfig(stream_length=256)
+        ).run()
+        replay = TraceWorkloadInstance("toy-replay", tiny_topo, trace)
+        replayed = Simulation(
+            tiny_topo, replay, LinuxPolicy(False), SimConfig(stream_length=256)
+        ).run()
+        # The replay reproduces the recorded access *pattern*: identical
+        # DRAM request volume and a comparable mapped footprint.
+        # (Placement may differ: the replay first-touches in stream
+        # order rather than via the workload's allocation sweep.)
+        assert replayed.bank.total("l2_data_misses") == pytest.approx(
+            live.bank.total("l2_data_misses")
+        )
+        live_mapped = sum(live.final_page_counts.values())
+        replay_mapped = sum(replayed.final_page_counts.values())
+        assert replay_mapped > 0
+        assert replay_mapped <= live_mapped * 1.05
+
+    def test_replay_policies_differ(self, tiny_topo):
+        trace, _ = make_trace(tiny_topo, epochs=4)
+        r4 = Simulation(
+            tiny_topo,
+            TraceWorkloadInstance("t", tiny_topo, trace),
+            LinuxPolicy(False),
+            SimConfig(stream_length=256),
+        ).run()
+        r2 = Simulation(
+            tiny_topo,
+            TraceWorkloadInstance("t", tiny_topo, trace),
+            LinuxPolicy(True),
+            SimConfig(stream_length=256),
+        ).run()
+        assert r4.final_page_counts != r2.final_page_counts
+
+    def test_subsampling_long_epochs(self, tiny_topo):
+        trace, _ = make_trace(tiny_topo, stream_length=512)
+        replay = TraceWorkloadInstance("t", tiny_topo, trace)
+        g, w = replay.epoch_stream_with_writes(0, 0, replay.stream_rng(0, 0), 128)
+        assert len(g) == 128
+        assert len(w) == 128
+
+    def test_missing_epoch_is_empty(self, tiny_topo):
+        trace, _ = make_trace(tiny_topo)
+        replay = TraceWorkloadInstance("t", tiny_topo, trace)
+        g = replay.epoch_stream(0, trace.total_epochs - 1, replay.stream_rng(0, 0), 64)
+        assert len(g) > 0
+
+    def test_too_many_threads_rejected(self, tiny_topo, machine_b_topo):
+        trace, _ = make_trace(machine_b_topo, epochs=1, stream_length=8)
+        with pytest.raises(ConfigurationError):
+            TraceWorkloadInstance("t", tiny_topo, trace)
+
+    def test_tlb_groups_valid(self, tiny_topo):
+        trace, _ = make_trace(tiny_topo)
+        replay = TraceWorkloadInstance("t", tiny_topo, trace)
+        groups = replay.tlb_groups(0, 0)
+        assert len(groups) == 1
+        assert groups[0].distinct_4k >= 1
