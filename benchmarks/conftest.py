@@ -5,6 +5,13 @@ prints it and writes it under ``benchmarks/output/``.  The simulation
 scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (default 0.25, the quick preset); set it to 1.0 to regenerate the
 numbers quoted in ``EXPERIMENTS.md``.
+
+Independent runs inside each figure/table fan out over worker
+processes: set ``REPRO_JOBS`` to choose the worker count (default
+``cpu_count - 1``; ``REPRO_JOBS=1`` forces the serial path).  Results
+persist in the on-disk cache (``REPRO_CACHE_DIR``, default
+``~/.cache/repro``), so a re-run after an interrupted sweep only pays
+for the missing combinations; set ``REPRO_CACHE=0`` for a cold run.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import pathlib
 
 import pytest
 
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import RunSettings
 from repro.sim.config import SimConfig
 
@@ -32,6 +40,12 @@ def settings() -> RunSettings:
             stream_length=768, scale=scale, seed=seed, ibs_rate=2e-4
         )
     return RunSettings(config=config, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def repro_jobs() -> int:
+    """Worker count the parallel runner will use (REPRO_JOBS env)."""
+    return resolve_jobs()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+"""Benchmarks the parallel runner itself and emits ``BENCH_runner.json``.
+
+Times one representative grid three ways — serial (``jobs=1``),
+parallel (``REPRO_JOBS`` or 2+), and warm (everything answered from
+the persistent cache) — and records the wall-clock numbers in
+``BENCH_runner.json`` at the repository root so the performance
+trajectory of the execution layer is tracked from PR to PR.
+
+The grid is run in a throwaway cache directory so the timings are
+honest cold-start numbers regardless of the developer's cache state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.parallel import GridRunner, RunSpec, resolve_jobs
+from repro.experiments.runner import clear_cache
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_runner.json"
+
+#: A figure-shaped slice of the experiment grid: shared baselines plus
+#: per-policy runs across both machines, small enough to time twice.
+BENCH_GRID = [
+    RunSpec(wl, machine, policy)
+    for wl in ("CG.D", "UA.B", "SSCA.20")
+    for machine in ("A", "B")
+    for policy in ("linux-4k", "thp")
+]
+
+
+def _timed_run(settings, jobs: int, cache_dir: pathlib.Path) -> float:
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    clear_cache()
+    grid = GridRunner(settings)
+    for spec in BENCH_GRID:
+        grid.add_spec(spec)
+    start = time.perf_counter()
+    results = grid.run(jobs=jobs)
+    elapsed = time.perf_counter() - start
+    assert len(results) == len(BENCH_GRID)
+    return elapsed
+
+
+def test_bench_runner(settings, repro_jobs, tmp_path):
+    old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    jobs = max(2, repro_jobs)
+    try:
+        serial_s = _timed_run(settings, 1, tmp_path / "serial")
+        parallel_s = _timed_run(settings, jobs, tmp_path / "parallel")
+        # Warm pass: same cache dir as the parallel pass, memo cleared,
+        # so every run is answered from disk.
+        clear_cache()
+        start = time.perf_counter()
+        grid = GridRunner(settings)
+        for spec in BENCH_GRID:
+            grid.add_spec(spec)
+        warm = grid.run(jobs=jobs)
+        warm_s = time.perf_counter() - start
+    finally:
+        if old_cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache_dir
+        clear_cache()
+
+    assert len(warm) == len(BENCH_GRID)
+    payload = {
+        "grid": [spec.describe() for spec in BENCH_GRID],
+        "n_runs": len(BENCH_GRID),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "scale": settings.config.scale,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "warm_cache_wall_s": round(warm_s, 3),
+        "speedup_parallel": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "speedup_warm": round(serial_s / warm_s, 2) if warm_s else None,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+
+    # The warm path must always beat re-simulating; the parallel-vs-
+    # serial ratio is hardware-dependent (>=2x on a 4+-core machine)
+    # so it is recorded, not asserted, to keep CI load-tolerant.
+    assert warm_s < serial_s

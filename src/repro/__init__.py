@@ -32,7 +32,9 @@ from repro.workloads.registry import available_workloads, get_workload
 from repro.experiments.configs import POLICIES, make_policy
 from repro.experiments.runner import run_benchmark
 
-__version__ = "1.0.0"
+# Also the persistent result-cache version stamp: bump on any change
+# that affects simulation output, so stale cached results are shed.
+__version__ = "1.1.0"
 
 __all__ = [
     "NumaTopology",

@@ -3,19 +3,24 @@
 Examples::
 
     repro list
-    repro figure1 --quick
+    repro figure1 --quick --jobs 4
     repro table2 --scale 0.5
     repro run CG.D --machine B --policy carrefour-lp --quick
+    repro cache stats
+    repro cache clear
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.experiments.cache import CACHE_ENABLE_ENV, ResultCache
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import JOBS_ENV
 from repro.experiments.runner import RunSettings, run_benchmark
 from repro.sim.config import SimConfig
 from repro.workloads.registry import available_workloads
@@ -33,6 +38,37 @@ def _settings_from_args(args: argparse.Namespace) -> RunSettings:
     return settings
 
 
+def _apply_execution_flags(args: argparse.Namespace) -> None:
+    """Propagate --jobs/--fresh to the runner layer via environment.
+
+    The environment is the natural carrier: it reaches the in-process
+    parallel dispatcher and every pool worker alike.
+    """
+    if getattr(args, "jobs", None) is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if getattr(args, "fresh", False):
+        os.environ[CACHE_ENABLE_ENV] = "0"
+
+
+def _add_run_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--quick", action="store_true", help="reduced scale")
+    cmd.add_argument("--scale", type=float, default=None)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent runs"
+        " (default: REPRO_JOBS or cpu_count-1; 1 = serial)",
+    )
+    cmd.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the persistent result cache (recompute everything)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -44,23 +80,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list experiments and benchmarks")
+    sub.add_parser("list", help="list experiments and benchmarks")
+
+    cache_cmd = sub.add_parser("cache", help="inspect the persistent result cache")
+    cache_cmd.add_argument(
+        "action", choices=["stats", "clear"], help="show stats or delete entries"
+    )
 
     for name in EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
-        exp.add_argument("--quick", action="store_true", help="reduced scale")
-        exp.add_argument("--scale", type=float, default=None)
-        exp.add_argument("--seed", type=int, default=0)
+        _add_run_options(exp)
 
     run_cmd = sub.add_parser("run", help="run one benchmark/policy combo")
     run_cmd.add_argument("workload")
     run_cmd.add_argument("--machine", default="A", choices=["A", "B"])
     run_cmd.add_argument("--policy", default="thp")
     run_cmd.add_argument("--backing-1g", action="store_true")
-    run_cmd.add_argument("--quick", action="store_true")
-    run_cmd.add_argument("--scale", type=float, default=None)
-    run_cmd.add_argument("--seed", type=int, default=0)
+    _add_run_options(run_cmd)
     return parser
+
+
+def _cache_main(action: str) -> int:
+    store = ResultCache.default()
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    print(store.stats().describe())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +123,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_workloads():
             print(f"  {name}")
         return 0
+
+    if args.command == "cache":
+        return _cache_main(args.action)
+
+    _apply_execution_flags(args)
 
     if args.command == "run":
         settings = _settings_from_args(args)

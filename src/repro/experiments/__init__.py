@@ -7,7 +7,9 @@ Section 4.2 overhead assessment and the Section 4.4 very-large-page
 study).
 """
 
+from repro.experiments.cache import ResultCache, cache_enabled, run_fingerprint
 from repro.experiments.configs import POLICIES, make_policy
+from repro.experiments.parallel import GridRunner, RunSpec, prefetch, resolve_jobs
 from repro.experiments.runner import RunSettings, improvement, run_benchmark
 from repro.experiments.reporting import Report
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
@@ -21,4 +23,11 @@ __all__ = [
     "Report",
     "EXPERIMENTS",
     "run_experiment",
+    "GridRunner",
+    "RunSpec",
+    "prefetch",
+    "resolve_jobs",
+    "ResultCache",
+    "cache_enabled",
+    "run_fingerprint",
 ]

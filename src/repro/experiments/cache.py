@@ -1,0 +1,252 @@
+"""Persistent on-disk cache for simulation results.
+
+Simulations are deterministic functions of (workload, machine, policy,
+backing, seed, complete :class:`~repro.sim.config.SimConfig`), so their
+results can be reused across processes and sessions.  Entries are
+pickled :class:`~repro.sim.results.SimulationResult` objects stored
+under ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``), keyed by
+a SHA-256 fingerprint of the *full* run identity plus a package version
+stamp — bumping :data:`repro.__version__` invalidates every entry, so
+model changes can never resurrect stale numbers.
+
+Writes are atomic (tmp file + :func:`os.replace`) so a crashed or
+concurrent run can never leave a torn entry; unreadable entries are
+treated as misses and deleted, never raised.
+
+Set ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) to disable the
+persistent layer entirely; the in-process memo in
+:mod:`repro.experiments.runner` is unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.sim.results import SimulationResult
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable disabling the persistent cache ("0"/"off"/...).
+CACHE_ENABLE_ENV = "REPRO_CACHE"
+
+_DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def version_stamp() -> str:
+    """The package version folded into every cache key.
+
+    Imported lazily so this module does not cycle with ``repro``'s
+    package ``__init__`` (which imports the runner, which imports us).
+    """
+    from repro import __version__
+
+    return __version__
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent layer is enabled (``REPRO_CACHE`` env)."""
+    return os.environ.get(CACHE_ENABLE_ENV, "1").strip().lower() not in _DISABLE_VALUES
+
+
+def cache_root() -> pathlib.Path:
+    """The cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(obj: object) -> object:
+    """Reduce a value to primitives with a stable, unambiguous encoding."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__class__": type(obj).__name__, **fields}
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, np.ndarray):
+        return [obj.dtype.str, obj.shape, obj.tolist()]
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {repr(k): _canonical(v) for k, v in sorted(obj.items(), key=repr)}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def run_fingerprint(
+    workload: str,
+    machine: str,
+    policy: str,
+    backing_1g: bool,
+    config: SimConfig,
+    seed: int,
+    stamp: Optional[str] = None,
+) -> str:
+    """SHA-256 hex key for one run, covering the *complete* config.
+
+    Every :class:`SimConfig` field participates — including
+    ``max_epochs``, ``khugepaged_batch``, ``ibs_cost_cycles`` and
+    ``track_access_stats``, which the old tuple key omitted — plus the
+    nested hardware cost models and a package version stamp.
+    """
+    identity = {
+        "stamp": stamp if stamp is not None else version_stamp(),
+        "workload": workload,
+        "machine": machine,
+        "policy": policy,
+        "backing_1g": bool(backing_1g),
+        "seed": int(seed),
+        "config": _canonical(config),
+    }
+    text = repr(_canonical(identity))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of the persistent cache contents."""
+
+    root: str
+    n_entries: int
+    total_bytes: int
+    enabled: bool
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        from repro._util import human_bytes
+
+        state = "enabled" if self.enabled else "disabled (REPRO_CACHE)"
+        return (
+            f"cache root: {self.root} [{state}]\n"
+            f"entries:    {self.n_entries}\n"
+            f"size:       {human_bytes(self.total_bytes)}"
+        )
+
+
+class ResultCache:
+    """Pickle-per-entry result store with atomic writes.
+
+    One file per fingerprint: ``<root>/<hex>.pkl``.  The class never
+    raises on a bad entry — corruption, version skew in the pickle
+    stream, or a vanished file all read as a miss (and the offending
+    file is removed so it cannot mask future problems).
+    """
+
+    SUFFIX = ".pkl"
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else cache_root()
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """The cache at the environment-selected location."""
+        return cls()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry path for a fingerprint key."""
+        return self.root / f"{key}{self.SUFFIX}"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Load a cached result, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn write from an old crash, disk corruption, or an
+            # incompatible pickle: drop the entry and re-run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(result, SimulationResult):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result atomically; silently skips on I/O failure."""
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=self.SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache dir must not break the run.
+            pass
+
+    def entries(self) -> list:
+        """Paths of all live entries."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.suffix == self.SUFFIX and not p.name.startswith(".tmp-")
+        )
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size of the store."""
+        entries = self.entries()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            root=str(self.root),
+            n_entries=len(entries),
+            total_bytes=total,
+            enabled=cache_enabled(),
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (and stale tmp files); returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.iterdir():
+            if path.suffix != self.SUFFIX:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            if not path.name.startswith(".tmp-"):
+                removed += 1
+        return removed

@@ -10,9 +10,10 @@ metric moves in which direction — is the reproduction target (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.experiments.parallel import RunSpec, prefetch
 from repro.experiments.reporting import Report
 from repro.experiments.runner import RunSettings, improvement, run_benchmark
 from repro.workloads.registry import AFFECTED_SET, FIGURE1_ORDER, UNAFFECTED_SET
@@ -24,9 +25,25 @@ def _fmt(v: float) -> str:
     return f"{v:+.1f}"
 
 
+def _grid(
+    workloads: Iterable[str],
+    machines: Iterable[str],
+    policies: Iterable[str],
+    backing_1g: bool = False,
+) -> List[RunSpec]:
+    """Cross-product run grid for a figure/table batch."""
+    return [
+        RunSpec(wl, machine, policy, backing_1g)
+        for wl in workloads
+        for machine in machines
+        for policy in policies
+    ]
+
+
 def figure1(settings: Optional[RunSettings] = None) -> Report:
     """Figure 1: THP performance improvement over Linux, both machines."""
     settings = settings or RunSettings()
+    prefetch(_grid(FIGURE1_ORDER, MACHINES, ["thp", "linux-4k"]), settings)
     rows = []
     data: Dict[str, Dict[str, float]] = {m: {} for m in MACHINES}
     for wl in FIGURE1_ORDER:
@@ -61,6 +78,14 @@ _TABLE1_CASES = [
 def table1(settings: Optional[RunSettings] = None) -> Report:
     """Table 1: detailed Linux-vs-THP profile of five applications."""
     settings = settings or RunSettings()
+    prefetch(
+        [
+            RunSpec(wl, machine, policy)
+            for wl, machine in _TABLE1_CASES
+            for policy in ("linux-4k", "thp")
+        ],
+        settings,
+    )
     rows = []
     data = {}
     for wl, machine in _TABLE1_CASES:
@@ -117,6 +142,7 @@ def _policy_figure(
     notes: List[str],
 ) -> Report:
     settings = settings or RunSettings()
+    prefetch(_grid(workloads, MACHINES, list(policies) + [baseline]), settings)
     rows = []
     data: Dict[str, Dict[str, Dict[str, float]]] = {m: {} for m in MACHINES}
     for wl in workloads:
@@ -198,6 +224,7 @@ _TABLE2_POLICIES = ["linux-4k", "thp", "carrefour-2m"]
 def table2(settings: Optional[RunSettings] = None) -> Report:
     """Table 2: PAMUP / NHP / PSP / imbalance / LAR on machine A."""
     settings = settings or RunSettings()
+    prefetch(_grid(_TABLE2_WORKLOADS, ["A"], _TABLE2_POLICIES), settings)
     rows = []
     data = {}
     for wl in _TABLE2_WORKLOADS:
@@ -238,6 +265,14 @@ _TABLE3_POLICIES = ["linux-4k", "thp", "carrefour-2m", "carrefour-lp"]
 def table3(settings: Optional[RunSettings] = None) -> Report:
     """Table 3: LAR and imbalance across the four policies."""
     settings = settings or RunSettings()
+    prefetch(
+        [
+            RunSpec(wl, machine, policy)
+            for wl, machine in _TABLE3_CASES
+            for policy in _TABLE3_POLICIES
+        ],
+        settings,
+    )
     rows = []
     data = {}
     for wl, machine in _TABLE3_CASES:
@@ -294,6 +329,14 @@ def figure5(settings: Optional[RunSettings] = None) -> Report:
 def overhead(settings: Optional[RunSettings] = None) -> Report:
     """Section 4.2: Carrefour-LP overhead vs reactive / Carrefour-2M / Linux."""
     settings = settings or RunSettings()
+    prefetch(
+        _grid(
+            FIGURE1_ORDER,
+            MACHINES,
+            ["carrefour-lp", "reactive-only", "carrefour-2m", "linux-4k"],
+        ),
+        settings,
+    )
     rows = []
     data: Dict[str, Dict[str, Dict[str, float]]] = {m: {} for m in MACHINES}
     for wl in FIGURE1_ORDER:
@@ -336,6 +379,19 @@ _VERYLARGE_WORKLOADS = ["SSCA.20", "streamcluster"]
 def verylarge(settings: Optional[RunSettings] = None) -> Report:
     """Section 4.4: 1GB pages on SSCA and streamcluster (machine B)."""
     settings = settings or RunSettings()
+    prefetch(
+        [
+            spec
+            for wl in _VERYLARGE_WORKLOADS
+            for spec in (
+                RunSpec(wl, "B", "linux-4k"),
+                RunSpec(wl, "B", "thp"),
+                RunSpec(wl, "B", "linux-4k", backing_1g=True),
+                RunSpec(wl, "B", "carrefour-lp", backing_1g=True),
+            )
+        ],
+        settings,
+    )
     rows = []
     data = {}
     for wl in _VERYLARGE_WORKLOADS:

@@ -1,14 +1,24 @@
 """Run (benchmark, machine, policy) combinations and cache the results.
 
 Many experiments share runs — Figures 1-5 all reference the same
-Linux and THP baselines — so results are memoised per settings key.
+Linux and THP baselines — so results are cached at two levels:
+
+* an in-process memo (identity-preserving, so tests can assert
+  ``a is b``), keyed by the *complete* run identity;
+* the persistent on-disk store in
+  :mod:`repro.experiments.cache`, shared across processes and
+  sessions and keyed by a full-config fingerprint.
+
+Batch drivers fan independent runs out over worker processes via
+:mod:`repro.experiments.parallel`; both layers make that transparent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
+from repro.experiments.cache import ResultCache, cache_enabled, run_fingerprint
 from repro.hardware.machines import machine_by_name
 from repro.hardware.topology import NumaTopology
 from repro.sim.config import SimConfig
@@ -33,17 +43,22 @@ class RunSettings:
     def cache_key(
         self, workload: str, machine: str, policy: str, backing_1g: bool
     ) -> Tuple:
-        cfg = self.config
-        return (
-            workload,
-            machine,
-            policy,
-            backing_1g,
-            cfg.scale,
-            cfg.stream_length,
-            cfg.ibs_rate,
-            cfg.epoch_s,
-            self.seed,
+        """In-process memo key covering the complete run identity.
+
+        The whole (hashable, frozen) :class:`SimConfig` participates, so
+        configs differing in *any* field — including ``max_epochs``,
+        ``khugepaged_batch``, ``ibs_cost_cycles`` or
+        ``track_access_stats``, which an earlier tuple key dropped —
+        can never collide.
+        """
+        return (workload, machine, policy, backing_1g, self.seed, self.config)
+
+    def fingerprint(
+        self, workload: str, machine: str, policy: str, backing_1g: bool
+    ) -> str:
+        """Persistent-cache key (full-config hash + version stamp)."""
+        return run_fingerprint(
+            workload, machine, policy, backing_1g, self.config, self.seed
         )
 
 
@@ -51,8 +66,59 @@ _CACHE: Dict[Tuple, SimulationResult] = {}
 
 
 def clear_cache() -> None:
-    """Drop all memoised run results."""
+    """Drop all in-process memoised run results."""
     _CACHE.clear()
+
+
+def canonical_machine(machine: Union[str, NumaTopology]) -> str:
+    """The topology name cache keys are filed under (``A`` -> ``machine-A``)."""
+    if isinstance(machine, NumaTopology):
+        return machine.name
+    return machine_by_name(machine).name
+
+
+def execute_run(
+    workload: str,
+    machine: Union[str, NumaTopology],
+    policy: str,
+    settings: RunSettings,
+    backing_1g: bool = False,
+) -> SimulationResult:
+    """Run one simulation with no caching at either level.
+
+    This is the raw unit of work the parallel pool workers execute;
+    everything it touches (settings in, result out) is picklable.
+    """
+    topo = machine_by_name(machine) if isinstance(machine, str) else machine
+    wl = get_workload(workload)
+    instance = wl.instantiate(topo, settings.config.scale, settings.seed)
+    if backing_1g:
+        instance = instance.with_1g_backing()
+    sim = Simulation(
+        topo,
+        instance,
+        make_policy(policy, seed=settings.seed),
+        config=settings.config,
+    )
+    return sim.run()
+
+
+def store_result(
+    workload: str,
+    machine: str,
+    policy: str,
+    settings: RunSettings,
+    backing_1g: bool,
+    result: SimulationResult,
+    persist: bool = True,
+) -> None:
+    """Install a finished run into the memo (and optionally on disk)."""
+    key = settings.cache_key(workload, machine, policy, backing_1g)
+    _CACHE[key] = result
+    if persist and cache_enabled():
+        ResultCache.default().put(
+            settings.fingerprint(workload, machine, policy, backing_1g), result
+        )
 
 
 def run_benchmark(
@@ -66,26 +132,30 @@ def run_benchmark(
     """Run one benchmark under one policy on one machine.
 
     ``backing_1g`` backs the workload with 1GB hugetlbfs-style pages
-    (Section 4.4); it composes with any policy.
+    (Section 4.4); it composes with any policy.  With ``use_cache``
+    (the default) the in-process memo is consulted first, then the
+    persistent on-disk cache; ``use_cache=False`` bypasses and
+    populates neither.
     """
     settings = settings or RunSettings()
     topo = machine_by_name(machine) if isinstance(machine, str) else machine
+    if not use_cache:
+        return execute_run(workload, topo, policy, settings, backing_1g)
     key = settings.cache_key(workload, topo.name, policy, backing_1g)
-    if use_cache and key in _CACHE:
+    if key in _CACHE:
         return _CACHE[key]
-    wl = get_workload(workload)
-    instance = wl.instantiate(topo, settings.config.scale, settings.seed)
-    if backing_1g:
-        instance = instance.with_1g_backing()
-    sim = Simulation(
-        topo,
-        instance,
-        make_policy(policy, seed=settings.seed),
-        config=settings.config,
+    result = None
+    if cache_enabled():
+        result = ResultCache.default().get(
+            settings.fingerprint(workload, topo.name, policy, backing_1g)
+        )
+    hit = result is not None
+    if result is None:
+        result = execute_run(workload, topo, policy, settings, backing_1g)
+    store_result(
+        workload, topo.name, policy, settings, backing_1g, result,
+        persist=not hit,
     )
-    result = sim.run()
-    if use_cache:
-        _CACHE[key] = result
     return result
 
 

@@ -142,12 +142,26 @@ class Simulation:
         written_replicated: set = set()
         fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
         weight = cost.dram_accesses / cfg.stream_length
-        for t in range(n_threads):
-            rng = rng_for(
+        length = cfg.stream_length
+        rngs = [
+            rng_for(
                 cfg.seed, self.instance.seed, self.instance.name, "stream", t, epoch
             )
+            for t in range(n_threads)
+        ]
+
+        # Pass 1 — sequential per thread: demand faulting mutates the
+        # address space and TLB classification must see the backing
+        # state as of its thread's turn, so ordering is part of the
+        # deterministic contract.  Streams and home nodes are batched
+        # into (n_threads, stream_length) arrays for pass 2.
+        streams = np.zeros((n_threads, length), dtype=np.int64)
+        stream_writes = np.zeros((n_threads, length), dtype=bool)
+        stream_homes = np.zeros((n_threads, length), dtype=np.int64)
+        stream_sizes = np.zeros(n_threads, dtype=np.int64)
+        for t in range(n_threads):
             granules, writes = self.instance.epoch_stream_with_writes(
-                t, epoch, rng, cfg.stream_length
+                t, epoch, rngs[t], length
             )
             if granules.size == 0:
                 continue
@@ -164,23 +178,11 @@ class Simulation:
                 stream_faults_4k += stats.faults_4k
                 stream_faults_2m += stats.faults_2m
                 homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
-            counts = np.bincount(
-                homes.astype(np.int64), minlength=n_nodes
-            ).astype(np.float64) * (cost.dram_accesses / granules.size)
-            thread_home_counts[t] = counts
-            traffic[self.thread_nodes[t]] += counts
-            n_samples = self.ibs.record_epoch(
-                t,
-                int(self.thread_nodes[t]),
-                granules,
-                homes,
-                cost.dram_accesses,
-                rng,
-                writes=writes,
-            )
-            ibs_time[t] = self.ibs.overhead_seconds(n_samples, freq)
-            if self.tracker is not None:
-                self.tracker.update(t, granules, weight)
+            n = granules.size
+            stream_sizes[t] = n
+            streams[t, :n] = granules
+            stream_writes[t, :n] = writes
+            stream_homes[t, :n] = homes
             # Writes to replicated pages collapse the replicas.
             if writes.size and np.any(writes):
                 written = granules[writes]
@@ -197,6 +199,39 @@ class Simulation:
             walk_time[t] = tlb_result.walk_cycles / freq
             tlb_misses[t] = tlb_result.misses
             walk_l2[t] = tlb_result.walk_l2_misses
+
+        # Pass 2 — vectorized across threads: one 2-D bincount over
+        # (thread, home node) replaces the per-thread bincounts, and
+        # traffic accumulates with a single unbuffered np.add.at (which
+        # applies additions in thread order, bit-identical to a loop).
+        valid = np.arange(length)[None, :] < stream_sizes[:, None]
+        flat = (
+            np.arange(n_threads, dtype=np.int64)[:, None] * n_nodes + stream_homes
+        )[valid]
+        pair_counts = np.bincount(flat, minlength=n_threads * n_nodes).reshape(
+            n_threads, n_nodes
+        )
+        scale = np.zeros(n_threads)
+        active = stream_sizes > 0
+        scale[active] = cost.dram_accesses / stream_sizes[active]
+        thread_home_counts[:] = pair_counts.astype(np.float64) * scale[:, None]
+        np.add.at(traffic, self.thread_nodes, thread_home_counts)
+
+        for t in np.flatnonzero(active):
+            n = int(stream_sizes[t])
+            granules = streams[t, :n]
+            n_samples = self.ibs.record_epoch(
+                int(t),
+                int(self.thread_nodes[t]),
+                granules,
+                stream_homes[t, :n],
+                cost.dram_accesses,
+                rngs[t],
+                writes=stream_writes[t, :n],
+            )
+            ibs_time[t] = self.ibs.overhead_seconds(n_samples, freq)
+            if self.tracker is not None:
+                self.tracker.update(int(t), granules, weight)
 
         # 3. Price the traffic: controller queueing + interconnect hops.
         rates = traffic / cfg.epoch_s

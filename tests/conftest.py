@@ -5,6 +5,33 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_caches(tmp_path_factory):
+    """Keep the suite hermetic: private result-cache dir, serial runs.
+
+    The persistent cache goes to a session tmp dir (never the user's
+    ``~/.cache/repro``) and worker fan-out defaults to serial so test
+    timings stay stable; parallel behaviour is exercised explicitly in
+    ``tests/experiments/test_parallel.py``.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    old_dir = os.environ.get("REPRO_CACHE_DIR")
+    old_jobs = os.environ.get("REPRO_JOBS")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    os.environ.setdefault("REPRO_JOBS", "1")
+    yield
+    if old_dir is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old_dir
+    if old_jobs is None:
+        os.environ.pop("REPRO_JOBS", None)
+    else:
+        os.environ["REPRO_JOBS"] = old_jobs
+
 from repro.hardware.machines import machine_a, machine_b
 from repro.hardware.topology import NumaNode, NumaTopology
 from repro.experiments.runner import RunSettings, run_benchmark

@@ -1,9 +1,14 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV
 from repro.experiments.experiments import EXPERIMENTS
+from repro.experiments.parallel import JOBS_ENV
+from repro.experiments.runner import RunSettings, run_benchmark
 
 
 class TestParser:
@@ -13,6 +18,19 @@ class TestParser:
             args = parser.parse_args([name, "--quick"])
             assert args.command == name
             assert args.quick
+
+    def test_jobs_and_fresh_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--quick", "--jobs", "4", "--fresh"])
+        assert args.jobs == 4
+        assert args.fresh
+
+    def test_cache_subcommand(self):
+        parser = build_parser()
+        assert parser.parse_args(["cache", "stats"]).action == "stats"
+        assert parser.parse_args(["cache", "clear"]).action == "clear"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "nope"])
 
     def test_run_subcommand(self):
         parser = build_parser()
@@ -43,3 +61,37 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Kmeans" in out
         assert "runtime=" in out
+
+    def test_jobs_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "1")  # registers restore-on-teardown
+        code = main(
+            ["run", "Kmeans", "--machine", "A", "--policy", "linux-4k",
+             "--quick", "--scale", "0.25", "--jobs", "3"]
+        )
+        assert code == 0
+        assert os.environ[JOBS_ENV] == "3"
+
+    def test_fresh_flag_disables_persistent_cache(self, capsys, monkeypatch):
+        monkeypatch.setenv(CACHE_ENABLE_ENV, "1")  # registers restore-on-teardown
+        code = main(
+            ["run", "Kmeans", "--machine", "A", "--policy", "linux-4k",
+             "--quick", "--scale", "0.25", "--fresh"]
+        )
+        assert code == 0
+        assert os.environ[CACHE_ENABLE_ENV] == "0"
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cli-cache"))
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        run_benchmark("Kmeans", "A", "linux-4k", RunSettings.quick())
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+        clear_cache()

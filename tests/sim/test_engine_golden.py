@@ -1,0 +1,90 @@
+"""Bit-exact goldens pinning the vectorized epoch hot path.
+
+The values below were captured from the original per-thread engine
+loop (pre-vectorization) at the quick preset, seed 0, as hex float
+literals — any drift in the batched bincount/`np.add.at` path, the
+hoisted RNG spawning, or stream handling shows up as an exact
+mismatch, not a tolerance failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunSettings, run_benchmark
+
+# (workload, machine, policy, backing_1g) -> field -> float.hex()
+GOLDENS = {
+    ("CG.D", "B", "thp", False): {
+        "runtime_s": "0x1.8b6639bf68193p+2",
+        "first_epoch_s": "0x1.a4666aaa921dfp-2",
+        "last_epoch_s": "0x1.89e6271b01e0dp-2",
+        "tlb_misses": "0x1.23658fc080339p+23",
+        "traffic_total": "0x1.3ab6680000000p+31",
+        "faults_4k": "0x0.0p+0",
+        "ibs_time": "0x0.0p+0",
+        "dram_time": "0x1.0a10e8857b011p+8",
+    },
+    ("SSCA.20", "A", "carrefour-lp", False): {
+        "runtime_s": "0x1.4d59258ed953bp+2",
+        "first_epoch_s": "0x1.7c4d6eda8fad6p-2",
+        "last_epoch_s": "0x1.19ce839c3a94ap-2",
+        "tlb_misses": "0x1.3a9d3c9b781d6p+27",
+        "traffic_total": "0x1.1e1a300000000p+30",
+        "faults_4k": "0x0.0p+0",
+        "ibs_time": "0x1.68021ecad3042p-2",
+        "dram_time": "0x1.4ed124349d0d4p+6",
+    },
+    ("WC", "B", "linux-4k", False): {
+        "runtime_s": "0x1.3bccca4bff9f4p+3",
+        "first_epoch_s": "0x1.028288341d9a8p+2",
+        "last_epoch_s": "0x1.6dbe0906be808p-2",
+        "tlb_misses": "0x1.639933630eed8p+28",
+        "traffic_total": "0x1.017df80000000p+31",
+        "faults_4k": "0x1.f000000000000p+19",
+        "ibs_time": "0x0.0p+0",
+        "dram_time": "0x1.e10b35166a2cfp+7",
+    },
+    ("streamcluster", "B", "linux-4k", True): {
+        "runtime_s": "0x1.01cc6916de335p+3",
+        "first_epoch_s": "0x1.0f7c1ddd0fe37p-1",
+        "last_epoch_s": "0x1.00e3aae11f090p-1",
+        "tlb_misses": "0x0.0p+0",
+        "traffic_total": "0x1.1e1a300000000p+31",
+        "faults_4k": "0x0.0p+0",
+        "ibs_time": "0x0.0p+0",
+        "dram_time": "0x1.879f4ac50b355p+8",
+    },
+}
+
+
+def _observe(result) -> dict:
+    return {
+        "runtime_s": result.runtime_s.hex(),
+        "first_epoch_s": result.epoch_times_s[0].hex(),
+        "last_epoch_s": result.epoch_times_s[-1].hex(),
+        "tlb_misses": result.bank.total("tlb_misses").hex(),
+        "traffic_total": float(
+            sum(e.traffic.sum() for e in result.bank.epochs)
+        ).hex(),
+        "faults_4k": result.bank.total("page_faults_4k").hex(),
+        "ibs_time": result.bank.total("time_ibs_s").hex(),
+        "dram_time": result.bank.total("time_dram_s").hex(),
+    }
+
+
+@pytest.mark.parametrize("case", sorted(GOLDENS, key=repr), ids=lambda c: f"{c[0]}-{c[1]}-{c[2]}{'-1g' if c[3] else ''}")
+def test_vectorized_engine_matches_pre_change_goldens(case, quick_settings):
+    workload, machine, policy, backing_1g = case
+    result = run_benchmark(
+        workload, machine, policy, quick_settings, backing_1g=backing_1g
+    )
+    assert _observe(result) == GOLDENS[case]
+
+
+def test_engine_deterministic_across_repeats(quick_settings):
+    a = run_benchmark("Kmeans", "A", "thp", quick_settings, use_cache=False)
+    b = run_benchmark("Kmeans", "A", "thp", quick_settings, use_cache=False)
+    assert a.runtime_s == b.runtime_s
+    assert a.epoch_times_s == b.epoch_times_s
+    assert a.bank.total("tlb_misses") == b.bank.total("tlb_misses")
