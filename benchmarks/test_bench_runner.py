@@ -2,9 +2,11 @@
 
 Times one representative grid three ways — serial (``jobs=1``),
 parallel (``REPRO_JOBS`` or 2+), and warm (everything answered from
-the persistent cache) — and records the wall-clock numbers in
-``BENCH_runner.json`` at the repository root so the performance
-trajectory of the execution layer is tracked from PR to PR.
+the persistent cache) — plus one representative run (CG.D on the
+8-node machine B) with and without per-epoch invariant checking, and
+records the wall-clock numbers in ``BENCH_runner.json`` at the
+repository root so the performance trajectory of the execution layer
+is tracked from PR to PR.
 
 The grid is run in a throwaway cache directory so the timings are
 honest cold-start numbers regardless of the developer's cache state.
@@ -12,6 +14,7 @@ honest cold-start numbers regardless of the developer's cache state.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pathlib
@@ -19,8 +22,9 @@ import time
 
 import pytest
 
+from repro.analysis.invariants import CHECK_ENV
 from repro.experiments.parallel import GridRunner, RunSpec, resolve_jobs
-from repro.experiments.runner import clear_cache
+from repro.experiments.runner import clear_cache, execute_run
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_runner.json"
@@ -48,6 +52,37 @@ def _timed_run(settings, jobs: int, cache_dir: pathlib.Path) -> float:
     return elapsed
 
 
+def _timed_invariant_overhead(settings) -> dict:
+    """Wall-clock for CG.D@B with per-epoch invariant checking off/on.
+
+    Uses ``execute_run`` (no caching at either level) so both passes
+    really simulate; ``REPRO_CHECK`` must not override the config flag,
+    so it is cleared for the measurement.
+    """
+    old_env = os.environ.pop(CHECK_ENV, None)
+    try:
+        timings = {}
+        for label, checked in (("off", False), ("on", True)):
+            cfg = dataclasses.replace(settings.config, check_invariants=checked)
+            run_settings = dataclasses.replace(settings, config=cfg)
+            start = time.perf_counter()
+            execute_run("CG.D", "B", "carrefour-lp", run_settings)
+            timings[label] = time.perf_counter() - start
+    finally:
+        if old_env is not None:
+            os.environ[CHECK_ENV] = old_env
+    return {
+        "run": "CG.D@B/carrefour-lp",
+        "unchecked_wall_s": round(timings["off"], 3),
+        "checked_wall_s": round(timings["on"], 3),
+        "overhead_pct": round(
+            100.0 * (timings["on"] - timings["off"]) / timings["off"], 1
+        )
+        if timings["off"]
+        else None,
+    }
+
+
 def test_bench_runner(settings, repro_jobs, tmp_path):
     old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
     jobs = max(2, repro_jobs)
@@ -71,6 +106,7 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
         clear_cache()
 
     assert len(warm) == len(BENCH_GRID)
+    invariant_check = _timed_invariant_overhead(settings)
     payload = {
         "grid": [spec.describe() for spec in BENCH_GRID],
         "n_runs": len(BENCH_GRID),
@@ -82,6 +118,7 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
         "warm_cache_wall_s": round(warm_s, 3),
         "speedup_parallel": round(serial_s / parallel_s, 2) if parallel_s else None,
         "speedup_warm": round(serial_s / warm_s, 2) if warm_s else None,
+        "invariant_check": invariant_check,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print()

@@ -8,16 +8,19 @@ Examples::
     repro run CG.D --machine B --policy carrefour-lp --quick
     repro cache stats
     repro cache clear
+    repro lint src/repro --format json
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.analysis.linter import format_findings, lint_paths
 from repro.experiments.cache import CACHE_ENABLE_ENV, ResultCache
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import JOBS_ENV
@@ -87,6 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=["stats", "clear"], help="show stats or delete entries"
     )
 
+    lint_cmd = sub.add_parser(
+        "lint", help="run the determinism linter (rules R001-R005)"
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed"
+        " repro package source)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json for CI consumption)",
+    )
+
     for name in EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
         _add_run_options(exp)
@@ -98,6 +118,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--backing-1g", action="store_true")
     _add_run_options(run_cmd)
     return parser
+
+
+def _lint_main(paths: List[str], fmt: str) -> int:
+    """Run the determinism linter; non-zero exit when findings exist."""
+    if paths:
+        targets = [pathlib.Path(p) for p in paths]
+    else:
+        import repro
+
+        targets = [pathlib.Path(repro.__file__).parent]
+    findings = lint_paths(targets)
+    output = format_findings(findings, fmt)
+    if output:
+        print(output)
+    elif fmt == "text":
+        print("no findings")
+    return 1 if findings else 0
 
 
 def _cache_main(action: str) -> int:
@@ -126,6 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cache":
         return _cache_main(args.action)
+
+    if args.command == "lint":
+        return _lint_main(args.paths, args.lint_format)
 
     _apply_execution_flags(args)
 

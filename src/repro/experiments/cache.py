@@ -23,12 +23,15 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import logging
 import os
 import pathlib
 import pickle
 import tempfile
 from dataclasses import dataclass
 from typing import Optional
+
+logger = logging.getLogger(__name__)
 
 import numpy as np
 
@@ -70,11 +73,19 @@ def cache_root() -> pathlib.Path:
 
 
 def _canonical(obj: object) -> object:
-    """Reduce a value to primitives with a stable, unambiguous encoding."""
+    """Reduce a value to primitives with a stable, unambiguous encoding.
+
+    Dataclasses may name fields that cannot influence results (e.g.
+    ``SimConfig.check_invariants``) in a ``_CACHE_KEY_EXCLUDE`` class
+    attribute; those are left out of the encoding so toggling them
+    neither misses the cache nor resurrects different numbers.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        excluded = getattr(type(obj), "_CACHE_KEY_EXCLUDE", frozenset())
         fields = {
             f.name: _canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if f.name not in excluded
         }
         return {"__class__": type(obj).__name__, **fields}
     if isinstance(obj, enum.Enum):
@@ -117,6 +128,24 @@ def run_fingerprint(
     }
     text = repr(_canonical(identity))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def normalized_config(config: SimConfig) -> SimConfig:
+    """The config with every ``_CACHE_KEY_EXCLUDE`` field at its default.
+
+    Used for in-process memo keys: two configs that differ only in
+    result-neutral fields (e.g. ``check_invariants``) must share one
+    memo entry, exactly as they share one on-disk fingerprint.
+    """
+    excluded = getattr(type(config), "_CACHE_KEY_EXCLUDE", frozenset())
+    overrides = {
+        f.name: f.default
+        for f in dataclasses.fields(config)
+        if f.name in excluded and f.default is not dataclasses.MISSING
+    }
+    if not overrides:
+        return config
+    return dataclasses.replace(config, **overrides)
 
 
 @dataclass(frozen=True)
@@ -171,9 +200,11 @@ class ResultCache:
                 result = pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError, IndexError) as exc:
             # Torn write from an old crash, disk corruption, or an
-            # incompatible pickle: drop the entry and re-run.
+            # incompatible pickle stream: drop the entry and re-run.
+            logger.debug("dropping unreadable cache entry %s: %r", path, exc)
             try:
                 path.unlink()
             except OSError:

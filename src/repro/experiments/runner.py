@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
-from repro.experiments.cache import ResultCache, cache_enabled, run_fingerprint
+from repro.experiments.cache import (
+    ResultCache,
+    cache_enabled,
+    normalized_config,
+    run_fingerprint,
+)
 from repro.hardware.machines import machine_by_name
 from repro.hardware.topology import NumaTopology
 from repro.sim.config import SimConfig
@@ -49,9 +54,18 @@ class RunSettings:
         configs differing in *any* field — including ``max_epochs``,
         ``khugepaged_batch``, ``ibs_cost_cycles`` or
         ``track_access_stats``, which an earlier tuple key dropped —
-        can never collide.
+        can never collide.  Result-neutral fields named in the config's
+        ``_CACHE_KEY_EXCLUDE`` (``check_invariants``) are normalised
+        away so runs with and without checking share one entry.
         """
-        return (workload, machine, policy, backing_1g, self.seed, self.config)
+        return (
+            workload,
+            machine,
+            policy,
+            backing_1g,
+            self.seed,
+            normalized_config(self.config),
+        )
 
     def fingerprint(
         self, workload: str, machine: str, policy: str, backing_1g: bool

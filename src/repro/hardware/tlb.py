@@ -111,14 +111,16 @@ class TlbModel:
         if represented_accesses < 0:
             raise ConfigurationError("represented_accesses must be non-negative")
         total_sampled = sum(
-            float(np.sum(c)) for c in counts_by_size.values() if c is not None
+            float(np.sum(counts_by_size[size]))
+            for size in sorted(counts_by_size)
+            if counts_by_size[size] is not None
         )
         if total_sampled <= 0:
             return TlbEpochResult(0.0, 0.0, 0.0, 0.0)
 
         misses = 0.0
         walk_l2_misses = 0.0
-        for size, counts in counts_by_size.items():
+        for size, counts in sorted(counts_by_size.items()):
             if counts is None:
                 continue
             counts = np.asarray(counts, dtype=np.float64)
@@ -169,14 +171,14 @@ class TlbModel:
         if represented_accesses < 0:
             raise ConfigurationError("represented_accesses must be non-negative")
         total_weight = 0.0
-        for counts, weights, _ in groups_by_size.values():
+        for _size, (counts, weights, _) in sorted(groups_by_size.items()):
             total_weight += float(np.sum(np.asarray(weights, dtype=np.float64)))
         if total_weight <= 0:
             return TlbEpochResult(0.0, 0.0, 0.0, 0.0)
 
         misses = 0.0
         walk_l2_misses = 0.0
-        for size, (counts, weights, run_lengths) in groups_by_size.items():
+        for size, (counts, weights, run_lengths) in sorted(groups_by_size.items()):
             counts = np.asarray(counts, dtype=np.float64)
             weights = np.asarray(weights, dtype=np.float64)
             run_lengths = np.maximum(np.asarray(run_lengths, dtype=np.float64), 1.0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar, FrozenSet
 
 from repro.errors import ConfigurationError
 from repro.hardware.caches import CacheModel
@@ -63,6 +64,16 @@ class SimConfig:
     #: khugepaged chunks scanned per epoch when promotion is enabled
     #: (collapse throughput is bounded, as in Linux).
     khugepaged_batch: int = 512
+    #: Run the epoch-level runtime invariant checker
+    #: (:mod:`repro.analysis.invariants`); ``REPRO_CHECK=1`` in the
+    #: environment enables it regardless of this flag.
+    check_invariants: bool = False
+
+    #: Fields that cannot influence simulation results and are therefore
+    #: excluded from memo keys and persistent-cache fingerprints.
+    _CACHE_KEY_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
+        {"check_invariants"}
+    )
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:

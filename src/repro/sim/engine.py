@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro._util import rng_for
+from repro.analysis.invariants import InvariantChecker, invariants_enabled
 from repro.errors import SimulationError
 from repro.hardware.counters import CounterBank, EpochCounters
 from repro.hardware.ibs import IbsEngine
@@ -79,6 +80,9 @@ class Simulation:
         self._last_policy_epoch = 0
         self._next_policy_time = (
             policy.interval_s if policy.interval_s is not None else None
+        )
+        self.invariant_checker = (
+            InvariantChecker(self) if invariants_enabled(self.config) else None
         )
 
     # ------------------------------------------------------------------
@@ -248,7 +252,7 @@ class Simulation:
         maintenance_s = self._pending_maintenance_s
         self._pending_maintenance_s = 0.0
         replicas_collapsed = 0
-        for page_id in written_replicated:
+        for page_id in sorted(written_replicated):
             if self.asp.unreplicate_backing(page_id) > 0:
                 replicas_collapsed += 1
         if replicas_collapsed:
@@ -323,6 +327,9 @@ class Simulation:
             interval = self.policy.interval_s or 1.0
             while self._next_policy_time <= self.sim_time_s:
                 self._next_policy_time += interval
+
+        if self.invariant_checker is not None:
+            self.invariant_checker.after_epoch(epoch)
 
     # ------------------------------------------------------------------
     # TLB group classification against current backing state

@@ -237,7 +237,7 @@ class AddressSpace:
                 return 0
             blocks = self._replica_blocks.pop(backing_id)
             freed = 0
-            for node, block in blocks.items():
+            for node, block in sorted(blocks.items()):
                 self.phys[node].free_huge(block)
                 freed += int(PageSize.SIZE_2M)
             self.replicated_2m[chunk] = False

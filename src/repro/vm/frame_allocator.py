@@ -148,16 +148,25 @@ class BuddyAllocator:
             order += 1
         self._free[order].add(start)
 
-    def check_invariants(self) -> None:
-        """Raise if internal bookkeeping is inconsistent (test helper)."""
+    def check_accounting(self) -> None:
+        """Cheap counter consistency check (safe to run every epoch).
+
+        Verifies the free-frame counter against the free lists and that
+        allocated + free covers the node exactly, without the O(frames)
+        overlap scan of :meth:`check_invariants`.
+        """
         counted = sum(
             len(blocks) << order for order, blocks in enumerate(self._free)
         )
         if counted != self._free_frames:
             raise AssertionError("free-frame counter out of sync with lists")
-        allocated = sum(1 << order for order in self._allocated.values())
+        allocated = sum(1 << order for order in sorted(self._allocated.values()))
         if allocated + self._free_frames != self.total_frames:
             raise AssertionError("allocated + free != total frames")
+
+    def check_invariants(self) -> None:
+        """Raise if internal bookkeeping is inconsistent (test helper)."""
+        self.check_accounting()
         seen: Set[int] = set()
         for order, blocks in enumerate(self._free):
             for start in blocks:
@@ -188,7 +197,12 @@ class NodeMemory:
         self.buddy = BuddyAllocator(dram_bytes // PAGE_4K, max_order=max_order)
         self._pool_free = 0
         self._pool_blocks: List[int] = []
+        self._pool_carves: List[int] = []
         self._fragmentation_pins: List[int] = []
+        #: Bytes held by explicit :meth:`inject_fragmentation` pins —
+        #: allocator usage not backed by any mapping, which the runtime
+        #: page-conservation invariant must account for separately.
+        self.test_pinned_bytes = 0
 
     # ------------------------------------------------------------------
     # Capacity
@@ -227,8 +241,10 @@ class NodeMemory:
             if order == ORDER_2M:
                 self._pool_blocks.append(start)
             else:
-                # Odd-order carve; remember as a pinned region (rare path).
-                self._fragmentation_pins.append((start << 6) | order)
+                # Odd-order carve (rare path).  These frames belong to
+                # the pool's accounting, so they must never be released
+                # by release_fragmentation.
+                self._pool_carves.append((start << 6) | order)
             self._pool_free += 1 << order
         self._pool_free -= n
 
@@ -283,12 +299,14 @@ class NodeMemory:
         for _ in range(n_blocks):
             start = self.buddy.alloc(order)
             self._fragmentation_pins.append((start << 6) | order)
+            self.test_pinned_bytes += (1 << order) * PAGE_4K
 
     def release_fragmentation(self) -> None:
         """Release all pins created by :meth:`inject_fragmentation`."""
         for token in self._fragmentation_pins:
             self.buddy.free(token >> 6, token & 0x3F)
         self._fragmentation_pins.clear()
+        self.test_pinned_bytes = 0
 
 
 class PhysicalMemory:

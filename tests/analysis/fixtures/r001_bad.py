@@ -1,0 +1,25 @@
+"""R001 fixture: cache_key drops two fields (the PR-1 bug class)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BadSettings:
+    workload: str = "CG.D"
+    seed: int = 0
+    scale: float = 1.0
+    max_epochs: int = 100
+
+    def cache_key(self):
+        # Forgets scale and max_epochs: two configs differing only in
+        # those fields collide in the memo.
+        return (self.workload, self.seed)
+
+
+@dataclass
+class BadFingerprint:
+    name: str = "x"
+    version: int = 1
+
+    def run_fingerprint(self):
+        return f"{self.name}"

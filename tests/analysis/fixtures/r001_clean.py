@@ -1,0 +1,45 @@
+"""R001 counterexamples: complete keys, exclusions, generic coverage."""
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, FrozenSet
+
+
+@dataclass(frozen=True)
+class CompleteSettings:
+    workload: str = "CG.D"
+    seed: int = 0
+    scale: float = 1.0
+
+    def cache_key(self):
+        return (self.workload, self.seed, self.scale)
+
+
+@dataclass(frozen=True)
+class ExcludedSettings:
+    workload: str = "CG.D"
+    seed: int = 0
+    verbose: bool = False
+
+    _CACHE_KEY_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset({"verbose"})
+
+    def cache_key(self):
+        return (self.workload, self.seed)
+
+
+@dataclass(frozen=True)
+class GenericSettings:
+    workload: str = "CG.D"
+    seed: int = 0
+    scale: float = 1.0
+
+    def fingerprint(self):
+        return tuple(
+            getattr(self, f.name) for f in dataclasses.fields(self)
+        )
+
+
+@dataclass(frozen=True)
+class NoKeyMethod:
+    workload: str = "CG.D"
+    seed: int = 0

@@ -1,0 +1,19 @@
+"""R002 fixture: unseeded randomness outside ``rng_for``."""
+
+import random
+
+import numpy as np
+
+
+def fresh_generator():
+    # Unseeded: every process draws a different stream.
+    return np.random.default_rng()
+
+
+def noisy_value():
+    return np.random.normal(0.0, 1.0)
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items

@@ -1,0 +1,12 @@
+"""R002 counterexample: all randomness flows through seeded generators."""
+
+import numpy as np
+
+
+def stream(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Callers hand in a generator built by ``repro._util.rng_for``."""
+    return rng.integers(0, 100, size=n)
+
+
+def pick(rng: np.random.Generator, items):
+    return items[int(rng.integers(0, len(items)))]

@@ -1,0 +1,16 @@
+"""R004 fixture: broad exception handlers that swallow silently."""
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except Exception:
+        return None
+
+
+def cleanup(resource):
+    try:
+        resource.close()
+    except:  # noqa: E722
+        pass

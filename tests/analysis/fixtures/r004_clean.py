@@ -1,0 +1,30 @@
+"""R004 counterexamples: narrow, re-raising, or logging handlers."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except (OSError, ValueError):
+        return None
+
+
+def load_logged(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except Exception as exc:
+        logger.debug("unreadable %s: %r", path, exc)
+        return None
+
+
+def load_reraise(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except BaseException:
+        raise

@@ -1,0 +1,12 @@
+"""R002 fixture: wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def epoch_stamp():
+    return time.time()
+
+
+def run_label():
+    return datetime.now().isoformat()

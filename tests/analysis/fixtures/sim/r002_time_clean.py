@@ -1,0 +1,5 @@
+"""R002 counterexample: simulated time comes from the engine state."""
+
+
+def epoch_stamp(sim_time_s: float, epoch: int) -> str:
+    return f"epoch {epoch} at t={sim_time_s:.3f}s"

@@ -1,0 +1,20 @@
+"""R003 fixture: ordering-dependent numeric accumulation."""
+
+
+def total_traffic(per_node: dict) -> float:
+    total = 0.0
+    for node, requests in per_node.items():
+        total += requests
+    return total
+
+
+def sum_values(per_node: dict) -> float:
+    return sum(v for v in per_node.values())
+
+
+def count_unique(pages) -> int:
+    seen = set(pages)
+    weight = 0
+    for page in seen:
+        weight += page
+    return weight

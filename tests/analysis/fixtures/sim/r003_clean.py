@@ -1,0 +1,20 @@
+"""R003 counterexamples: sorted iteration and non-accumulating loops."""
+
+
+def total_traffic(per_node: dict) -> float:
+    total = 0.0
+    for node, requests in sorted(per_node.items()):
+        total += requests
+    return total
+
+
+def sum_values(per_node: dict) -> float:
+    return sum(per_node[node] for node in sorted(per_node))
+
+
+def collect(per_node: dict) -> list:
+    # Iterating a dict without numeric accumulation is fine.
+    out = []
+    for node in per_node.values():
+        out.append(node)
+    return out

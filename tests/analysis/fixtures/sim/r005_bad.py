@@ -1,0 +1,18 @@
+"""R005 fixture: mutable defaults and float equality in sim code."""
+
+
+def record(value, log=[]):
+    log.append(value)
+    return log
+
+
+def configure(options={}):
+    return dict(options)
+
+
+def is_idle(load: float) -> bool:
+    return load == 0.0
+
+
+def changed(a: float) -> bool:
+    return a != 1.5

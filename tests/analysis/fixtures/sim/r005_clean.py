@@ -1,0 +1,17 @@
+"""R005 counterexamples: None defaults and ordered float comparisons."""
+
+
+def record(value, log=None):
+    if log is None:
+        log = []
+    log.append(value)
+    return log
+
+
+def is_idle(load: float) -> bool:
+    return load <= 0.0
+
+
+def same_count(a: int, b: int) -> bool:
+    # Integer equality is exact and allowed.
+    return a == b
