@@ -85,13 +85,19 @@ def _timed_invariant_overhead(settings) -> dict:
 
 def test_bench_runner(settings, repro_jobs, tmp_path):
     old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
-    jobs = max(2, repro_jobs)
+    # resolve_jobs clamps to the actual core count: a "parallel" pass
+    # oversubscribing a small box reports meaningless speedups, so the
+    # bench runs (and records) the *effective* job count, and skips the
+    # parallel pass entirely when only one core is available.
+    jobs_requested = max(2, repro_jobs)
+    jobs = resolve_jobs(jobs_requested)
     try:
         serial_s = _timed_run(settings, 1, tmp_path / "serial")
-        parallel_s = _timed_run(settings, jobs, tmp_path / "parallel")
+        parallel_s = _timed_run(settings, jobs, tmp_path / "parallel") if jobs > 1 else None
         # Warm pass: same cache dir as the parallel pass, memo cleared,
         # so every run is answered from disk.
         clear_cache()
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path / ("parallel" if jobs > 1 else "serial"))
         start = time.perf_counter()
         grid = GridRunner(settings)
         for spec in BENCH_GRID:
@@ -110,13 +116,16 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
     payload = {
         "grid": [spec.describe() for spec in BENCH_GRID],
         "n_runs": len(BENCH_GRID),
-        "jobs": jobs,
+        "jobs_requested": jobs_requested,
+        "jobs_effective": jobs,
         "cpu_count": os.cpu_count(),
         "scale": settings.config.scale,
         "serial_wall_s": round(serial_s, 3),
-        "parallel_wall_s": round(parallel_s, 3),
+        "parallel_wall_s": round(parallel_s, 3) if parallel_s is not None else None,
         "warm_cache_wall_s": round(warm_s, 3),
-        "speedup_parallel": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "speedup_parallel": (
+            round(serial_s / parallel_s, 2) if parallel_s else None
+        ),
         "speedup_warm": round(serial_s / warm_s, 2) if warm_s else None,
         "invariant_check": invariant_check,
     }

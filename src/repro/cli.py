@@ -117,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--policy", default="thp")
     run_cmd.add_argument("--backing-1g", action="store_true")
     _add_run_options(run_cmd)
+
+    prof_cmd = sub.add_parser(
+        "profile",
+        help="run one benchmark uncached with the per-phase engine profiler",
+    )
+    prof_cmd.add_argument("workload")
+    prof_cmd.add_argument("--machine", default="A", choices=["A", "B"])
+    prof_cmd.add_argument("--policy", default="thp")
+    prof_cmd.add_argument("--backing-1g", action="store_true")
+    prof_cmd.add_argument("--quick", action="store_true", help="reduced scale")
+    prof_cmd.add_argument("--scale", type=float, default=None)
+    prof_cmd.add_argument("--seed", type=int, default=0)
+    prof_cmd.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable profile to PATH",
+    )
     return parser
 
 
@@ -135,6 +154,38 @@ def _lint_main(paths: List[str], fmt: str) -> int:
     elif fmt == "text":
         print("no findings")
     return 1 if findings else 0
+
+
+def _profile_main(args: argparse.Namespace) -> int:
+    """Run one benchmark with the per-phase profiler and report timings."""
+    import json
+
+    from repro.sim.profile import run_profiled
+
+    settings = _settings_from_args(args)
+    result, timer = run_profiled(
+        args.workload,
+        args.machine,
+        args.policy,
+        settings,
+        backing_1g=args.backing_1g,
+    )
+    print(result.describe())
+    print(f"  simulated runtime={result.runtime_s:.3f}s")
+    print(timer.render())
+    if args.json_path:
+        payload = {
+            "run": f"{args.workload}@{args.machine}/{args.policy}",
+            "scale": settings.config.scale,
+            "seed": settings.seed,
+            "simulated_runtime_s": result.runtime_s,
+            "profile": timer.summary(),
+        }
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
 
 
 def _cache_main(action: str) -> int:
@@ -166,6 +217,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "lint":
         return _lint_main(args.paths, args.lint_format)
+
+    if args.command == "profile":
+        return _profile_main(args)
 
     _apply_execution_flags(args)
 

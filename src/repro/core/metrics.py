@@ -76,11 +76,19 @@ class PageSampleTable:
         )
         write_counts = np.zeros(ids.size)
         np.add.at(write_counts, inverse, samples.is_write.astype(np.float64))
-        # Distinct accessing threads per page.
-        pair = inverse.astype(np.int64) * 65536 + samples.thread.astype(np.int64)
+        # Distinct accessing threads per page, via a packed
+        # (page, thread) pair key.  The multiplier must exceed every
+        # thread id or pairs from different pages would collide and
+        # corrupt the distinct-thread counts, so it widens with the
+        # data instead of assuming int16 thread ids.
+        threads = samples.thread.astype(np.int64)
+        if threads.size and int(threads.min()) < 0:
+            raise ConfigurationError("thread ids must be non-negative")
+        multiplier = max(65536, int(threads.max()) + 1 if threads.size else 0)
+        pair = inverse.astype(np.int64) * multiplier + threads
         unique_pairs = np.unique(pair)
         thread_counts = np.bincount(
-            (unique_pairs // 65536).astype(np.int64), minlength=ids.size
+            (unique_pairs // multiplier).astype(np.int64), minlength=ids.size
         )
         return cls(
             ids=ids,

@@ -46,7 +46,12 @@ class RunSpec:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit arg > ``REPRO_JOBS`` > cpu_count - 1."""
+    """Worker count: explicit arg > ``REPRO_JOBS`` > cpu_count - 1.
+
+    Clamped to ``os.cpu_count()``: simulation workers are CPU-bound, so
+    oversubscribing cores only adds scheduler churn (and benchmark
+    numbers taken that way report meaningless "parallel" speedups).
+    """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if env:
@@ -56,7 +61,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 jobs = None
     if jobs is None:
         jobs = (os.cpu_count() or 2) - 1
-    return max(1, int(jobs))
+    return max(1, min(int(jobs), os.cpu_count() or 1))
 
 
 def _pool_execute(

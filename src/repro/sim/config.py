@@ -68,11 +68,15 @@ class SimConfig:
     #: (:mod:`repro.analysis.invariants`); ``REPRO_CHECK=1`` in the
     #: environment enables it regardless of this flag.
     check_invariants: bool = False
+    #: Record per-phase engine wall times (:mod:`repro.sim.profile`);
+    #: ``REPRO_PROFILE=1`` in the environment enables it regardless of
+    #: this flag.
+    profile: bool = False
 
     #: Fields that cannot influence simulation results and are therefore
     #: excluded from memo keys and persistent-cache fingerprints.
     _CACHE_KEY_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
-        {"check_invariants"}
+        {"check_invariants", "profile"}
     )
 
     def __post_init__(self) -> None:

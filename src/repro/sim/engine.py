@@ -20,10 +20,11 @@ from repro.analysis.invariants import InvariantChecker, invariants_enabled
 from repro.errors import SimulationError
 from repro.hardware.counters import CounterBank, EpochCounters
 from repro.hardware.ibs import IbsEngine
-from repro.hardware.tlb import TlbModel
+from repro.hardware.tlb import TlbEpochResult, TlbModel
 from repro.hardware.topology import NumaTopology
 from repro.sim.config import SimConfig
 from repro.sim.policy import PlacementPolicy, PolicyActionSummary
+from repro.sim.profile import PhaseTimer, profile_enabled
 from repro.sim.results import SimulationResult
 from repro.sim.tracker import AccessTracker
 from repro.vm.address_space import AddressSpace
@@ -84,6 +85,14 @@ class Simulation:
         self.invariant_checker = (
             InvariantChecker(self) if invariants_enabled(self.config) else None
         )
+        self.profiler = PhaseTimer() if profile_enabled(self.config) else None
+        # Version-keyed caches over the backing state: backing fractions
+        # by (lo, hi) range and per-thread TLB epoch results by group
+        # list, both valid while ``asp.version`` is unchanged.  Only
+        # consulted in no-fault epochs (see ``_pass1_tlb``).
+        self._backing_version = -1
+        self._fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        self._tlb_memo: Dict[int, Tuple[list, TlbEpochResult]] = {}
 
     # ------------------------------------------------------------------
     # Main loop
@@ -115,6 +124,9 @@ class Simulation:
         n_nodes = self.machine.n_nodes
         n_threads = self.n_threads
         freq = self.machine.cpu_freq_hz
+        prof = self.profiler
+        if prof is not None:
+            prof.epoch_start()
 
         fault_time = np.zeros(n_threads)
         walk_time = np.zeros(n_threads)
@@ -140,12 +152,12 @@ class Simulation:
                 float(batch.faults_1g[t]),
                 concurrent,
             )
+        if prof is not None:
+            prof.lap("premap")
 
         # 2. Access streams: translation, traffic, TLB, IBS, tracking.
         stream_faults_4k = stream_faults_2m = 0.0
         written_replicated: set = set()
-        fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-        weight = cost.dram_accesses / cfg.stream_length
         length = cfg.stream_length
         rngs = [
             rng_for(
@@ -154,11 +166,10 @@ class Simulation:
             for t in range(n_threads)
         ]
 
-        # Pass 1 — sequential per thread: demand faulting mutates the
-        # address space and TLB classification must see the backing
-        # state as of its thread's turn, so ordering is part of the
-        # deterministic contract.  Streams and home nodes are batched
-        # into (n_threads, stream_length) arrays for pass 2.
+        # Pass 1a — per-thread stream generation.  Streams are drawn
+        # before any translation (generation never reads the address
+        # space), preserving each thread's RNG draw order while letting
+        # the whole epoch translate in one call below.
         streams = np.zeros((n_threads, length), dtype=np.int64)
         stream_writes = np.zeros((n_threads, length), dtype=bool)
         stream_homes = np.zeros((n_threads, length), dtype=np.int64)
@@ -167,48 +178,62 @@ class Simulation:
             granules, writes = self.instance.epoch_stream_with_writes(
                 t, epoch, rngs[t], length
             )
-            if granules.size == 0:
-                continue
-            homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
-            if homes.size and int(homes.min()) < 0:
-                stats = self.asp.fault_in(
-                    granules[homes < 0],
-                    int(self.thread_nodes[t]),
-                    self.thp.alloc_enabled,
-                )
-                fault_time[t] += self.models.page_fault.handler_time_s(
-                    stats.faults_4k, stats.faults_2m, stats.faults_1g, 1
-                )
-                stream_faults_4k += stats.faults_4k
-                stream_faults_2m += stats.faults_2m
-                homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
             n = granules.size
+            if n == 0:
+                continue
             stream_sizes[t] = n
             streams[t, :n] = granules
             stream_writes[t, :n] = writes
-            stream_homes[t, :n] = homes
+
+        # Pass 1b — the common epoch has no demand faults: one
+        # vectorized translation over every access decides which case we
+        # are in.  An unmapped granule (home < 0) means some thread
+        # would fault and mutate the address space mid-pass, so the
+        # epoch falls back to the sequential per-thread path where
+        # thread ordering is part of the deterministic contract.
+        valid = np.arange(length)[None, :] < stream_sizes[:, None]
+        flat_granules = streams[valid]
+        flat_homes = self.asp.home_nodes(flat_granules)
+        if flat_homes.size and int(flat_homes.min()) < 0:
+            stream_faults_4k, stream_faults_2m = self._pass1_faulting(
+                epoch,
+                streams,
+                stream_writes,
+                stream_homes,
+                stream_sizes,
+                fault_time,
+                walk_time,
+                tlb_misses,
+                walk_l2,
+                written_replicated,
+            )
+            if prof is not None:
+                prof.lap("streams")
+        else:
+            rep = self.asp.replication_mask(flat_granules)
+            if np.any(rep):
+                # Reads of replicated pages are serviced locally.
+                local = np.repeat(self.thread_nodes, stream_sizes)
+                flat_homes = np.where(rep, local, flat_homes)
+            stream_homes[valid] = flat_homes
             # Writes to replicated pages collapse the replicas.
-            if writes.size and np.any(writes):
-                written = granules[writes]
+            writes_flat = stream_writes[valid]
+            if np.any(writes_flat):
+                written = flat_granules[writes_flat]
                 rep_mask = self.asp.replication_mask(written)
                 if np.any(rep_mask):
                     ids, _ = self.asp.backing_info(written[rep_mask])
                     written_replicated.update(int(i) for i in np.unique(ids))
-            tlb_result = self.tlb_model.epoch_result_grouped(
-                self._classify_tlb_groups(
-                    self.instance.tlb_groups(t, epoch), fraction_cache
-                ),
-                cost.mem_accesses,
-            )
-            walk_time[t] = tlb_result.walk_cycles / freq
-            tlb_misses[t] = tlb_result.misses
-            walk_l2[t] = tlb_result.walk_l2_misses
+            if prof is not None:
+                prof.lap("streams")
+            self._pass1_tlb(epoch, stream_sizes, walk_time, tlb_misses, walk_l2)
+            if prof is not None:
+                prof.lap("tlb")
 
         # Pass 2 — vectorized across threads: one 2-D bincount over
         # (thread, home node) replaces the per-thread bincounts, and
         # traffic accumulates with a single unbuffered np.add.at (which
         # applies additions in thread order, bit-identical to a loop).
-        valid = np.arange(length)[None, :] < stream_sizes[:, None]
         flat = (
             np.arange(n_threads, dtype=np.int64)[:, None] * n_nodes + stream_homes
         )[valid]
@@ -221,21 +246,31 @@ class Simulation:
         thread_home_counts[:] = pair_counts.astype(np.float64) * scale[:, None]
         np.add.at(traffic, self.thread_nodes, thread_home_counts)
 
-        for t in np.flatnonzero(active):
-            n = int(stream_sizes[t])
-            granules = streams[t, :n]
-            n_samples = self.ibs.record_epoch(
-                int(t),
-                int(self.thread_nodes[t]),
-                granules,
-                stream_homes[t, :n],
-                cost.dram_accesses,
-                rngs[t],
-                writes=stream_writes[t, :n],
-            )
-            ibs_time[t] = self.ibs.overhead_seconds(n_samples, freq)
-            if self.tracker is not None:
-                self.tracker.update(int(t), granules, weight)
+        active_idx = np.flatnonzero(active)
+        if self.tracker is not None:
+            for t in active_idx:
+                n = int(stream_sizes[t])
+                # Weight by the thread's actual stream size (matching
+                # the traffic scaling above), not the nominal
+                # stream_length: short streams represent the same DRAM
+                # access budget spread over fewer touches.
+                self.tracker.update(int(t), streams[t, :n], float(scale[t]))
+        if prof is not None:
+            prof.lap("streams")
+
+        n_samples = self.ibs.record_epoch_batch(
+            active_idx,
+            self.thread_nodes,
+            streams,
+            stream_homes,
+            stream_writes,
+            stream_sizes,
+            cost.dram_accesses,
+            rngs,
+        )
+        ibs_time = n_samples * self.ibs.cost_cycles_per_sample / freq
+        if prof is not None:
+            prof.lap("ibs")
 
         # 3. Price the traffic: controller queueing + interconnect hops.
         rates = traffic / cfg.epoch_s
@@ -247,6 +282,8 @@ class Simulation:
         ).sum(axis=1) / freq / cost.mlp
 
         thread_time = cost.cpu_seconds + dram_time + walk_time + fault_time + ibs_time
+        if prof is not None:
+            prof.lap("pricing")
 
         # 4. Maintenance: khugepaged plus policy actions from last epoch.
         maintenance_s = self._pending_maintenance_s
@@ -297,6 +334,8 @@ class Simulation:
                 ibs_samples=self.ibs.pending_samples,
             )
         )
+        if prof is not None:
+            prof.lap("maintenance")
 
         # 5. Policy daemon at its interval (actions cost time next epoch).
         if (
@@ -327,9 +366,122 @@ class Simulation:
             interval = self.policy.interval_s or 1.0
             while self._next_policy_time <= self.sim_time_s:
                 self._next_policy_time += interval
+        if prof is not None:
+            prof.lap("policy")
 
         if self.invariant_checker is not None:
             self.invariant_checker.after_epoch(epoch)
+        if prof is not None:
+            prof.epoch_end()
+
+    # ------------------------------------------------------------------
+    # Pass-1 variants
+    # ------------------------------------------------------------------
+    def _pass1_faulting(
+        self,
+        epoch: int,
+        streams: np.ndarray,
+        stream_writes: np.ndarray,
+        stream_homes: np.ndarray,
+        stream_sizes: np.ndarray,
+        fault_time: np.ndarray,
+        walk_time: np.ndarray,
+        tlb_misses: np.ndarray,
+        walk_l2: np.ndarray,
+        written_replicated: set,
+    ) -> Tuple[float, float]:
+        """Sequential per-thread pass 1 for epochs with demand faults.
+
+        Demand faulting mutates the address space and TLB classification
+        must see the backing state as of its thread's turn, so thread
+        ordering is part of the deterministic contract.  The version-
+        keyed caches stay out of this path entirely: faulting bumps the
+        address-space version, so they re-key on the next quiet epoch,
+        and the per-epoch ``fraction_cache`` below keeps the original
+        sharing semantics (entries computed before a later thread's
+        fault are deliberately reused after it).
+        """
+        cost = self.instance.cost
+        freq = self.machine.cpu_freq_hz
+        faults_4k = faults_2m = 0.0
+        fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        for t in range(self.n_threads):
+            n = int(stream_sizes[t])
+            if n == 0:
+                continue
+            granules = streams[t, :n]
+            writes = stream_writes[t, :n]
+            homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
+            if homes.size and int(homes.min()) < 0:
+                stats = self.asp.fault_in(
+                    granules[homes < 0],
+                    int(self.thread_nodes[t]),
+                    self.thp.alloc_enabled,
+                )
+                fault_time[t] += self.models.page_fault.handler_time_s(
+                    stats.faults_4k, stats.faults_2m, stats.faults_1g, 1
+                )
+                faults_4k += stats.faults_4k
+                faults_2m += stats.faults_2m
+                homes = self.asp.home_nodes_for(granules, int(self.thread_nodes[t]))
+            stream_homes[t, :n] = homes
+            # Writes to replicated pages collapse the replicas.
+            if writes.size and np.any(writes):
+                written = granules[writes]
+                rep_mask = self.asp.replication_mask(written)
+                if np.any(rep_mask):
+                    ids, _ = self.asp.backing_info(written[rep_mask])
+                    written_replicated.update(int(i) for i in np.unique(ids))
+            tlb_result = self.tlb_model.epoch_result_grouped(
+                self._classify_tlb_groups(
+                    self.instance.tlb_groups(t, epoch), fraction_cache
+                ),
+                cost.mem_accesses,
+            )
+            walk_time[t] = tlb_result.walk_cycles / freq
+            tlb_misses[t] = tlb_result.misses
+            walk_l2[t] = tlb_result.walk_l2_misses
+        return faults_4k, faults_2m
+
+    def _pass1_tlb(
+        self,
+        epoch: int,
+        stream_sizes: np.ndarray,
+        walk_time: np.ndarray,
+        tlb_misses: np.ndarray,
+        walk_l2: np.ndarray,
+    ) -> None:
+        """TLB-classify all active threads against quiescent backing.
+
+        Only called in no-fault epochs, where the backing state is
+        frozen for the whole pass: classification order no longer
+        matters, so backing fractions and whole per-thread TLB results
+        are memoized across epochs, keyed on the address-space version
+        and each thread's (value-compared) group list.
+        """
+        cost = self.instance.cost
+        freq = self.machine.cpu_freq_hz
+        version = self.asp.version
+        if version != self._backing_version:
+            self._fraction_cache.clear()
+            self._tlb_memo.clear()
+            self._backing_version = version
+        for t in range(self.n_threads):
+            if stream_sizes[t] == 0:
+                continue
+            groups = self.instance.tlb_groups(t, epoch)
+            memo = self._tlb_memo.get(t)
+            if memo is not None and memo[0] == groups:
+                tlb_result = memo[1]
+            else:
+                tlb_result = self.tlb_model.epoch_result_grouped(
+                    self._classify_tlb_groups(groups, self._fraction_cache),
+                    cost.mem_accesses,
+                )
+                self._tlb_memo[t] = (groups, tlb_result)
+            walk_time[t] = tlb_result.walk_cycles / freq
+            tlb_misses[t] = tlb_result.misses
+            walk_l2[t] = tlb_result.walk_l2_misses
 
     # ------------------------------------------------------------------
     # TLB group classification against current backing state

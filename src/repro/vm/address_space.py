@@ -96,13 +96,69 @@ class AddressSpace:
         self.giga = np.zeros(self.n_chunks_1g, dtype=bool)
         self.node1g = np.full(self.n_chunks_1g, -1, dtype=np.int8)
         self._block1g = np.full(self.n_chunks_1g, -1, dtype=np.int64)
+        # Monotonic mutation counter: bumped by every operation that can
+        # change translation or backing composition (map, fault, split,
+        # collapse, migrate, replicate).  Consumers (the engine's
+        # backing-fraction/TLB caches, the resolved home map below) key
+        # their caches on it so quiescent epochs skip rescanning the
+        # ``huge``/``giga`` bitmaps.
+        self._version = 0
+        # Resolved per-granule home map, built lazily once the space is
+        # observed quiescent (two translations at the same version), so
+        # churn phases never pay the O(n_granules) build.
+        self._home_map: Optional[np.ndarray] = None
+        self._home_map_version = -1
+        self._translated_version = -1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of backing-state mutations.
+
+        Any operation that can change what :meth:`home_nodes`,
+        :meth:`backing_info` or a backing-composition scan would return
+        increments it; pure reads never do.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Translation (vectorised)
     # ------------------------------------------------------------------
+    def _resolved_home_map(self) -> Optional[np.ndarray]:
+        """Per-granule resolved home nodes, or None while churning.
+
+        The map is only built on the second translation request at an
+        unchanged :attr:`version`: one bulk expansion of the 2MB/1GB
+        node arrays then serves every later translation at this version
+        with a single gather.
+        """
+        v = self._version
+        if self._home_map is not None and self._home_map_version == v:
+            return self._home_map
+        if self._translated_version != v:
+            self._translated_version = v
+            return None
+        home_map = self.node4k.copy()
+        if np.any(self.huge):
+            nodes2 = np.repeat(self.node2m, GRANULES_PER_2M)[: self.n_granules]
+            mask2 = np.repeat(self.huge, GRANULES_PER_2M)[: self.n_granules]
+            np.copyto(home_map, nodes2, where=mask2)
+        if np.any(self.giga):
+            nodes1 = np.repeat(self.node1g, GRANULES_PER_1G)[: self.n_granules]
+            mask1 = np.repeat(self.giga, GRANULES_PER_1G)[: self.n_granules]
+            np.copyto(home_map, nodes1, where=mask1)
+        self._home_map = home_map
+        self._home_map_version = v
+        return home_map
+
     def home_nodes(self, granules: np.ndarray) -> np.ndarray:
         """Home node per accessed granule; -1 where unmapped."""
         g = np.asarray(granules, dtype=np.int64)
+        home_map = self._resolved_home_map()
+        if home_map is not None:
+            return home_map[g]
         c2 = g >> SHIFT_2M
         c1 = g >> SHIFT_1G
         giga_mask = self.giga[c1]
@@ -200,6 +256,7 @@ class AddressSpace:
             self.replicated_4k[granule] = True
             bytes_copied = PAGE_4K * len(targets)
             self.replica_bytes += bytes_copied
+            self._bump_version()
             return bytes_copied
         chunk = backing_id - BACKING_ID_2M_OFFSET
         if self.replicated_2m[chunk]:
@@ -213,6 +270,7 @@ class AddressSpace:
         self._replica_blocks[backing_id] = blocks
         bytes_copied = int(PageSize.SIZE_2M) * len(targets)
         self.replica_bytes += bytes_copied
+        self._bump_version()
         return bytes_copied
 
     def unreplicate_backing(self, backing_id: int) -> int:
@@ -230,6 +288,7 @@ class AddressSpace:
                     freed += PAGE_4K
             self.replicated_4k[granule] = False
             self.replica_bytes -= freed
+            self._bump_version()
             return freed
         if kind is PageSize.SIZE_2M:
             chunk = backing_id - BACKING_ID_2M_OFFSET
@@ -242,6 +301,7 @@ class AddressSpace:
                 freed += int(PageSize.SIZE_2M)
             self.replicated_2m[chunk] = False
             self.replica_bytes -= freed
+            self._bump_version()
             return freed
         return 0
 
@@ -332,12 +392,14 @@ class AddressSpace:
         self.huge[chunk] = True
         self.node2m[chunk] = node
         self._block2m[chunk] = block
+        self._bump_version()
 
     def _map_small(self, granules: np.ndarray, node: int) -> None:
         self.phys[node].alloc_small(int(granules.size))
         self.node4k[granules] = node
         chunk_ids, counts = np.unique(granules >> SHIFT_2M, return_counts=True)
         self.mapped_count_2m[chunk_ids] += counts.astype(np.int32)
+        self._bump_version()
 
     def premap_range(
         self, start_granule: int, n_granules: int, node: int, thp_alloc: bool
@@ -412,6 +474,7 @@ class AddressSpace:
         g = np.arange(start_granule, end, dtype=np.int64)
         chunk_ids, chunk_counts = np.unique(g >> SHIFT_2M, return_counts=True)
         self.mapped_count_2m[chunk_ids] += chunk_counts.astype(np.int32)
+        self._bump_version()
 
     def premap_pattern_2m(self, chunk_start: int, nodes: np.ndarray) -> None:
         """Bulk-back fully unmapped 2MB chunks as huge pages.
@@ -461,6 +524,8 @@ class AddressSpace:
             self.node1g[gchunk] = node
             self._block1g[gchunk] = block
             stats.faults_1g += 1
+        if stats.faults_1g:
+            self._bump_version()
         return stats
 
     # ------------------------------------------------------------------
@@ -486,6 +551,7 @@ class AddressSpace:
         span = slice(chunk << SHIFT_2M, (chunk + 1) << SHIFT_2M)
         self.node4k[span] = node
         self.mapped_count_2m[chunk] = GRANULES_PER_2M
+        self._bump_version()
 
     def split_gchunk(self, gchunk: int) -> None:
         """Demote a 1GB page into 4KB pages on the same node."""
@@ -503,6 +569,7 @@ class AddressSpace:
         chunk_lo = (gchunk << SHIFT_1G) >> SHIFT_2M
         chunk_hi = ((gchunk + 1) << SHIFT_1G) >> SHIFT_2M
         self.mapped_count_2m[chunk_lo:chunk_hi] = GRANULES_PER_2M
+        self._bump_version()
 
     def collapse_chunk(self, chunk: int, node: Optional[int] = None) -> bool:
         """Promote 512 mapped 4KB pages into one 2MB page (khugepaged).
@@ -535,6 +602,7 @@ class AddressSpace:
         self._block2m[chunk] = block
         self.node4k[span] = -1
         self.mapped_count_2m[chunk] = 0
+        self._bump_version()
         return True
 
     def migrate_backing(self, backing_id: int, dst_node: int) -> int:
@@ -561,6 +629,7 @@ class AddressSpace:
             self.phys[dst_node].alloc_small(1)
             self.phys[src].free_small(1)
             self.node4k[granule] = dst_node
+            self._bump_version()
             return PAGE_4K
         if kind is PageSize.SIZE_2M:
             chunk = backing_id - BACKING_ID_2M_OFFSET
@@ -577,6 +646,7 @@ class AddressSpace:
             self.phys[src].free_huge(int(self._block2m[chunk]))
             self.node2m[chunk] = dst_node
             self._block2m[chunk] = block
+            self._bump_version()
             return int(PageSize.SIZE_2M)
         gchunk = backing_id - BACKING_ID_1G_OFFSET
         if not self.giga[gchunk]:
@@ -590,6 +660,7 @@ class AddressSpace:
         self.phys[src].free_giga(int(self._block1g[gchunk]))
         self.node1g[gchunk] = dst_node
         self._block1g[gchunk] = block
+        self._bump_version()
         return int(PageSize.SIZE_1G)
 
     def migrate_granules(self, granules: np.ndarray, dst_nodes: np.ndarray) -> int:
@@ -617,6 +688,7 @@ class AddressSpace:
             if outgoing:
                 self.phys[node].free_small(outgoing)
         self.node4k[g] = dst.astype(np.int8)
+        self._bump_version()
         return int(g.size) * PAGE_4K
 
     # ------------------------------------------------------------------

@@ -80,6 +80,37 @@ class TestPageSampleTable:
         assert by_id[0] == 2
         assert by_id[1] == 1
 
+    def test_wide_thread_ids_do_not_collide(self):
+        # Thread ids past the old fixed 65536 pair multiplier used to
+        # alias (page, thread) pairs across pages; the multiplier now
+        # widens with the data.
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(4, dtype=np.int8))
+        samples = IbsSamples(
+            granule=np.array([0, 0, 1], dtype=np.int64),
+            accessing_node=np.zeros(3, dtype=np.int8),
+            home_node=np.zeros(3, dtype=np.int8),
+            thread=np.array([0, 70_000, 70_000], dtype=np.int64),
+            from_dram=np.ones(3, dtype=bool),
+        )
+        table = PageSampleTable.from_samples(samples, asp, 2)
+        by_id = dict(zip(table.ids.tolist(), table.thread_counts.tolist()))
+        assert by_id[0] == 2
+        assert by_id[1] == 1
+
+    def test_negative_thread_ids_rejected(self):
+        asp = make_asp()
+        asp.premap_pattern_4k(0, np.zeros(4, dtype=np.int8))
+        samples = IbsSamples(
+            granule=np.array([0], dtype=np.int64),
+            accessing_node=np.zeros(1, dtype=np.int8),
+            home_node=np.zeros(1, dtype=np.int8),
+            thread=np.array([-1], dtype=np.int64),
+            from_dram=np.ones(1, dtype=bool),
+        )
+        with pytest.raises(ConfigurationError):
+            PageSampleTable.from_samples(samples, asp, 2)
+
     def test_hot_mask(self):
         asp = make_asp()
         asp.premap_pattern_4k(0, np.zeros(4, dtype=np.int8))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import runner as runner_mod
@@ -53,10 +55,12 @@ def _signature(result):
 
 class TestResolveJobs:
     def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setenv(JOBS_ENV, "7")
         assert resolve_jobs(3) == 3
 
     def test_env(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setenv(JOBS_ENV, "5")
         assert resolve_jobs() == 5
 
@@ -69,6 +73,18 @@ class TestResolveJobs:
         assert resolve_jobs(0) == 1
         assert resolve_jobs(-4) == 1
         assert resolve_jobs() >= 1
+
+    def test_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert resolve_jobs(16) == 2
+        monkeypatch.setenv(JOBS_ENV, "16")
+        assert resolve_jobs() == 2
+
+    def test_cpu_count_unknown(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs(4) == 1
 
 
 class TestGridAssembly:
@@ -182,6 +198,7 @@ class TestPrefetch:
         assert prefetch(GRID, RunSettings.quick()) == {}
 
     def test_warms_memo(self, fresh_env, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
         monkeypatch.setenv(JOBS_ENV, "2")
         settings = RunSettings.quick()
         results = prefetch(GRID[:2], settings)

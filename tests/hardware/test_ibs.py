@@ -120,3 +120,123 @@ class TestIbsEngine:
         g, h = make_stream(n=200)
         n = engine.record_epoch(0, 0, g, h, 1e9, np.random.default_rng(0))
         assert n <= 200
+
+
+def _sample_tuples(samples):
+    return list(
+        zip(
+            samples.granule.tolist(),
+            samples.accessing_node.tolist(),
+            samples.home_node.tolist(),
+            samples.thread.tolist(),
+            samples.from_dram.tolist(),
+            samples.is_write.tolist(),
+        )
+    )
+
+
+class TestRecordEpochBatch:
+    """record_epoch_batch must be bit-identical to per-thread calls."""
+
+    @staticmethod
+    def _epoch_matrices(n_threads, length, seed, n_nodes=2):
+        rng = np.random.default_rng(seed)
+        sizes = rng.integers(1, length + 1, size=n_threads)
+        sizes[0] = 0  # one inactive thread
+        streams = np.zeros((n_threads, length), dtype=np.int64)
+        homes = np.zeros((n_threads, length), dtype=np.int64)
+        writes = np.zeros((n_threads, length), dtype=bool)
+        for t in range(n_threads):
+            n = int(sizes[t])
+            streams[t, :n] = rng.integers(0, 10_000, size=n)
+            homes[t, :n] = rng.integers(0, n_nodes, size=n)
+            writes[t, :n] = rng.random(n) < 0.3
+        nodes = rng.integers(0, n_nodes, size=n_threads)
+        return sizes, streams, homes, writes, nodes
+
+    def test_matches_sequential_record_epoch(self):
+        n_threads, length = 6, 300
+        sizes, streams, homes, writes, nodes = self._epoch_matrices(
+            n_threads, length, seed=7
+        )
+        represented = 5e5
+
+        seq = IbsEngine(n_nodes=2, rate=1e-3)
+        rngs = [np.random.default_rng(1000 + t) for t in range(n_threads)]
+        seq_counts = np.zeros(n_threads, dtype=np.int64)
+        for t in np.flatnonzero(sizes > 0):
+            n = int(sizes[t])
+            seq_counts[t] = seq.record_epoch(
+                int(t),
+                int(nodes[t]),
+                streams[t, :n],
+                homes[t, :n],
+                represented,
+                rngs[t],
+                writes=writes[t, :n],
+            )
+
+        batch = IbsEngine(n_nodes=2, rate=1e-3)
+        rngs = [np.random.default_rng(1000 + t) for t in range(n_threads)]
+        batch_counts = batch.record_epoch_batch(
+            np.flatnonzero(sizes > 0),
+            nodes,
+            streams,
+            homes,
+            writes,
+            sizes,
+            represented,
+            rngs,
+        )
+
+        assert np.array_equal(seq_counts, batch_counts)
+        assert seq.pending_samples == batch.pending_samples
+        assert _sample_tuples(seq.drain()) == _sample_tuples(batch.drain())
+
+    def test_zero_rate_draws_nothing(self):
+        sizes, streams, homes, writes, nodes = self._epoch_matrices(3, 50, seed=1)
+        engine = IbsEngine(n_nodes=2, rate=0.0)
+        rngs = [np.random.default_rng(t) for t in range(3)]
+        counts = engine.record_epoch_batch(
+            np.flatnonzero(sizes > 0), nodes, streams, homes, writes, sizes, 1e6, rngs
+        )
+        assert counts.sum() == 0
+        # The RNGs must be untouched (rate gating happens before draws).
+        assert rngs[1].integers(0, 100) == np.random.default_rng(1).integers(0, 100)
+
+    def test_invalid_node_rejected(self):
+        sizes, streams, homes, writes, nodes = self._epoch_matrices(3, 50, seed=2)
+        nodes[:] = 9
+        engine = IbsEngine(n_nodes=2, rate=0.5)
+        rngs = [np.random.default_rng(t) for t in range(3)]
+        with pytest.raises(ConfigurationError):
+            engine.record_epoch_batch(
+                np.flatnonzero(sizes > 0),
+                nodes,
+                streams,
+                homes,
+                writes,
+                sizes,
+                1e6,
+                rngs,
+            )
+
+    def test_store_growth_across_epochs(self):
+        # Many small appends must survive buffer growth and drain once,
+        # in append order, with correct dtypes.
+        engine = IbsEngine(n_nodes=2, rate=1.0)
+        rng = np.random.default_rng(3)
+        expected = 0
+        for epoch in range(40):
+            g = np.arange(50, dtype=np.int64) + epoch
+            h = np.zeros(50, dtype=np.int8)
+            expected += engine.record_epoch(epoch % 7, 0, g, h, 50, rng)
+        assert engine.pending_samples == expected
+        samples = engine.drain()
+        assert len(samples) == expected
+        assert samples.granule.dtype == np.int64
+        assert samples.thread.dtype == np.int16
+        assert samples.home_node.dtype == np.int8
+        assert samples.accessing_node.dtype == np.int8
+        assert engine.pending_samples == 0
+        assert len(engine.drain()) == 0
