@@ -1,0 +1,108 @@
+"""Lint baselines: fail CI only on *new* findings.
+
+A baseline is a JSON file of finding fingerprints with counts.  The
+fingerprint deliberately excludes line/column numbers — refactors move
+code — and keys on ``(rule, path, message)``; counts let a file carry
+two identical findings without one masking a newly introduced third.
+
+Workflow::
+
+    repro lint src/repro --baseline lint-baseline.json --baseline-update
+    git add lint-baseline.json
+    # later, in CI:
+    repro lint src/repro --baseline lint-baseline.json   # exit 0 unless new
+
+Fixing a finding leaves a stale entry behind; ``--baseline-update``
+regenerates the file (CI diffs will show shrinkage, which reviewers
+should expect to be monotonic).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence
+
+from repro.analysis.linter import Finding
+
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number churn."""
+    path = pathlib.PurePosixPath(
+        str(finding.path).replace("\\", "/")
+    ).as_posix()
+    if path.startswith("./"):
+        path = path[2:]
+    return f"{finding.rule}|{path}|{finding.message}"
+
+
+def baseline_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Fingerprint -> occurrence count for a set of findings."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(
+    path: pathlib.Path, findings: Sequence[Finding]
+) -> None:
+    """Write (or overwrite) a baseline file for the given findings."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "counts": dict(sorted(baseline_counts(findings).items())),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+class BaselineError(ValueError):
+    """A baseline file is missing or malformed (CLI exit code 2)."""
+
+
+def load_baseline(path: pathlib.Path) -> Dict[str, int]:
+    """Read a baseline file, validating its shape."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("counts"), dict)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} "
+            "lint baseline"
+        )
+    counts = {}
+    for key, value in payload["counts"].items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise BaselineError(f"baseline {path} has a malformed entry")
+        counts[key] = value
+    return counts
+
+
+def filter_new(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Findings not covered by the baseline.
+
+    Each fingerprint's baseline count absorbs that many occurrences (in
+    source order); everything beyond is new.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

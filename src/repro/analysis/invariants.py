@@ -30,6 +30,12 @@ from repro.vm.layout import GRANULES_PER_2M, PAGE_4K, PageSize, SHIFT_1G, SHIFT_
 #: checker regardless of :attr:`SimConfig.check_invariants`.
 CHECK_ENV = "REPRO_CHECK"
 
+#: Static-analysis registry (rule R101): the checker observes, it never
+#: repairs — a checker that mutated state would invalidate the very
+#: runs it certifies.  The deep linter also protects this module by
+#: default, so deleting this declaration does not disable the check.
+_RESULT_NEUTRAL = ("analysis.invariants",)
+
 _TRUE_VALUES = frozenset({"1", "true", "on", "yes"})
 _FALSE_VALUES = frozenset({"0", "false", "off", "no"})
 

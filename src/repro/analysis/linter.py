@@ -11,10 +11,11 @@ that line; ``# lint: ignore[R003]`` (comma-separated ids allowed)
 silences only the named rules.
 
 Path scoping: some rules only make sense on simulation state and model
-code.  A file is "sim-path" when any component of its path (relative
-or absolute) is one of :data:`SIM_PATH_PARTS` — which matches both the
+code.  A file is "sim-path" when a component *below the package or
+fixture root* is one of :data:`SIM_PATH_PARTS` — which matches both the
 real tree (``src/repro/sim/engine.py``) and test fixtures laid out the
-same way.
+same way, without being fooled by a checkout that happens to live under
+a directory named ``core`` or ``sim`` (see :data:`SIM_PATH_ROOTS`).
 """
 
 from __future__ import annotations
@@ -29,6 +30,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 #: Path components marking deterministic-simulation code, where the
 #: ordering/float rules (R003, R005) and wall-clock bans (R002) apply.
 SIM_PATH_PARTS = frozenset({"sim", "core", "vm", "hardware", "workloads"})
+
+#: Components that anchor sim-path matching: only components *after*
+#: the last of these count.  ``repro`` is the package root, ``fixtures``
+#: the test-fixture root.  Absolute paths containing neither are never
+#: sim-path (they point outside any known tree); relative paths without
+#: an anchor are matched whole, so ``lint_source(src, "sim/snippet.py")``
+#: still lints as simulation code.
+SIM_PATH_ROOTS = frozenset({"repro", "fixtures"})
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
 
@@ -79,8 +88,22 @@ class FileContext:
 
     @property
     def is_sim_path(self) -> bool:
-        """Whether the file lives under a simulation-state directory."""
-        parts = pathlib.PurePosixPath(self.path.replace("\\", "/")).parts
+        """Whether the file lives under a simulation-state directory.
+
+        Matching is scoped to path components below the last
+        :data:`SIM_PATH_ROOTS` anchor so a checkout under a directory
+        named ``core`` or ``sim`` does not mark every file sim-path.
+        """
+        pure = pathlib.PurePosixPath(self.path.replace("\\", "/"))
+        parts = pure.parts
+        anchor = max(
+            (i for i, part in enumerate(parts) if part in SIM_PATH_ROOTS),
+            default=None,
+        )
+        if anchor is not None:
+            parts = parts[anchor + 1:]
+        elif pure.is_absolute():
+            return False
         return any(part in SIM_PATH_PARTS for part in parts)
 
     def is_suppressed(self, lineno: int, rule_id: str) -> bool:

@@ -1,0 +1,673 @@
+"""Units-of-measure inference over the project AST (rules R102/R103).
+
+Quantities in this codebase are dimensioned — byte addresses, 4KB
+granules, 2MB/1GB chunks, node ids, thread ids, IBS sample counts — and
+two shipped bugs were unit confusions.  This pass infers a unit for
+expressions from three sources, in priority order:
+
+1. **Annotations**: ``Annotated[int, "bytes"]`` literals, or the
+   aliases exported by :mod:`repro.units` (``Bytes``, ``Pages4K``, ...)
+   on parameters, returns, variables and class attributes.
+2. **Conversion constants**: multiplying/dividing/shifting by
+   ``PAGE_4K``, ``GRANULES_PER_2M``, ``SHIFT_2M`` etc. converts between
+   the page-size units and bytes.
+3. **Naming conventions** (fallback): ``*_bytes`` is bytes,
+   ``n_granules``/``*_frames`` is pages4k, ``*_node``/``node_id`` is a
+   node id, ``tid``/``thread_id`` a thread id, ``n_samples`` a sample
+   count.
+
+Only expressions whose units are *both known and different* are
+reported, so unannotated code stays silent.  Mismatches within the
+page/byte family (pages4k vs pages2m vs bytes, ...) are *missing
+conversions* (R103, the ×512 / ×``PAGE_4K`` class of bug); any other
+pair (node vs tid, samples vs bytes, ...) is a plain unit mismatch
+(R102).
+
+Known limits: inference is intraprocedural plus a project-wide
+signature table; values flowing through untyped containers, ``*args``
+or numpy fancy indexing lose their unit; multiplying two dimensioned
+quantities yields no unit (only conversion constants transform units).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.callgraph import Project, FunctionInfo
+
+# ----------------------------------------------------------------------
+# Vocabulary
+# ----------------------------------------------------------------------
+BYTES = "bytes"
+PAGES_4K = "pages4k"
+PAGES_2M = "pages2m"
+PAGES_1G = "pages1g"
+NODE = "node"
+TID = "tid"
+SAMPLES = "samples"
+
+#: The page/byte family: mismatches inside it are missing conversions
+#: (R103); mismatches with or between anything else are R102.
+PAGE_FAMILY = frozenset({BYTES, PAGES_4K, PAGES_2M, PAGES_1G})
+
+KNOWN_UNITS = PAGE_FAMILY | {NODE, TID, SAMPLES}
+
+#: Annotation alias name -> unit (the AST analyzer sees names, not
+#: resolved types; keep in sync with :mod:`repro.units`).
+ALIAS_UNITS = {
+    "Bytes": BYTES,
+    "Pages4K": PAGES_4K,
+    "Pages2M": PAGES_2M,
+    "Pages1G": PAGES_1G,
+    "NodeId": NODE,
+    "ThreadId": TID,
+    "Samples": SAMPLES,
+    "BytesArray": BYTES,
+    "Pages4KArray": PAGES_4K,
+    "NodeArray": NODE,
+    "ThreadArray": TID,
+    "SamplesArray": SAMPLES,
+}
+
+#: Conversion-constant names: name -> (from_unit, to_unit) meaning
+#: ``x[from] * NAME -> to`` and ``x[to] / NAME -> from``.  Standalone
+#: (non-multiplicative) uses read as the *to* unit: bare ``PAGE_4K`` is
+#: "the bytes in one 4KB page", bare ``GRANULES_PER_2M`` is "the 4KB
+#: pages in one 2MB page".
+CONVERTERS = {
+    "PAGE_4K": (PAGES_4K, BYTES),
+    "PAGE_2M": (PAGES_2M, BYTES),
+    "PAGE_1G": (PAGES_1G, BYTES),
+    "SIZE_4K": (PAGES_4K, BYTES),
+    "SIZE_2M": (PAGES_2M, BYTES),
+    "SIZE_1G": (PAGES_1G, BYTES),
+    "GRANULES_PER_2M": (PAGES_2M, PAGES_4K),
+    "GRANULES_PER_1G": (PAGES_1G, PAGES_4K),
+    "CHUNKS_2M_PER_1G": (PAGES_1G, PAGES_2M),
+}
+
+#: Shift-amount names: ``x[pages4k] >> NAME`` -> unit, and ``<<`` back.
+SHIFTS = {
+    "SHIFT_2M": (PAGES_4K, PAGES_2M),
+    "SHIFT_1G": (PAGES_4K, PAGES_1G),
+}
+
+#: The factor to suggest in an R103 message for a unit pair.
+SUGGESTED_FACTORS = {
+    frozenset({PAGES_4K, BYTES}): "PAGE_4K",
+    frozenset({PAGES_2M, BYTES}): "PAGE_2M",
+    frozenset({PAGES_1G, BYTES}): "PAGE_1G",
+    frozenset({PAGES_2M, PAGES_4K}): "GRANULES_PER_2M (512)",
+    frozenset({PAGES_1G, PAGES_4K}): "GRANULES_PER_1G",
+    frozenset({PAGES_1G, PAGES_2M}): "CHUNKS_2M_PER_1G",
+}
+
+#: Calls that pass their first argument's unit through unchanged.
+_PASSTHROUGH_CALLS = frozenset(
+    {
+        "int",
+        "float",
+        "abs",
+        "round",
+        "min",
+        "max",
+        "sorted",
+        "asarray",
+        "ascontiguousarray",
+        "array",
+        "unique",
+        "copy",
+        "astype",
+    }
+)
+
+
+def naming_fallback(name: str) -> Optional[str]:
+    """Unit implied by an identifier name, or None.
+
+    Deliberately conservative: only patterns that are unambiguous in
+    this codebase participate (``faults_2m`` is a *count of fault
+    events*, not 2MB pages, so bare ``_2m``/``_4k`` suffixes do not
+    match), and ``x_of_y`` names are mappings *indexed by* ``y``
+    (``chunk_of_granule``), so they never take ``y``'s unit.
+    """
+    if "_of_" in name:
+        return None
+    if name.endswith("_bytes") or name.startswith("bytes_") or name == "nbytes":
+        return BYTES
+    if (
+        name in ("granule", "granules", "n_granules", "frames", "n_frames")
+        or name.endswith("_granule")
+        or name.endswith("_granules")
+        or name.endswith("_frames")
+    ):
+        return PAGES_4K
+    if name == "n_chunks_2m" or name.endswith("chunks_2m"):
+        return PAGES_2M
+    if name == "n_chunks_1g" or name.endswith("chunks_1g"):
+        return PAGES_1G
+    if name in ("node", "node_id", "n_nodes") or name.endswith("_node"):
+        return NODE
+    if name in ("tid", "thread", "thread_id") or name.endswith("_tid"):
+        return TID
+    if name in ("samples", "n_samples") or name.endswith("_samples"):
+        return SAMPLES
+    return None
+
+
+def unit_from_annotation(node: Optional[ast.AST]) -> Optional[str]:
+    """Unit named by an annotation AST, or None.
+
+    Recognises ``Annotated[<base>, "<unit>"]`` (dotted or not), the
+    :mod:`repro.units` alias names, and string annotations containing
+    either spelling (``from __future__ import annotations`` turns every
+    annotation into a string constant).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name) and node.id in ALIAS_UNITS:
+        return ALIAS_UNITS[node.id]
+    if isinstance(node, ast.Attribute) and node.attr in ALIAS_UNITS:
+        return ALIAS_UNITS[node.attr]
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else None
+        )
+        if base_name == "Annotated":
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and len(inner.elts) >= 2:
+                marker = inner.elts[1]
+                if (
+                    isinstance(marker, ast.Constant)
+                    and isinstance(marker.value, str)
+                    and marker.value in KNOWN_UNITS
+                ):
+                    return marker.value
+        else:
+            # Optional[Bytes], "Optional[Pages4K]" etc.
+            return unit_from_annotation(node.slice)
+    return None
+
+
+@dataclass(frozen=True)
+class UnitEvent:
+    """One detected mismatch, before rule classification."""
+
+    kind: str  # "arith" | "compare" | "argument" | "return" | "assign"
+    left: str
+    right: str
+    node: ast.AST
+    detail: str
+
+    @property
+    def is_conversion(self) -> bool:
+        """Whether the pair is a page/byte-family missing conversion."""
+        return self.left in PAGE_FAMILY and self.right in PAGE_FAMILY
+
+    def suggestion(self) -> str:
+        """The conversion factor to name in an R103 message."""
+        factor = SUGGESTED_FACTORS.get(frozenset({self.left, self.right}))
+        return f"; convert with {factor}" if factor else ""
+
+
+@dataclass
+class Signature:
+    """Unit view of one function signature."""
+
+    param_units: Dict[str, Optional[str]]
+    param_order: Tuple[str, ...]
+    return_unit: Optional[str]
+    is_method: bool
+
+
+class UnitChecker:
+    """Infers units across one project and yields mismatch events."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.signatures: Dict[str, Signature] = {}
+        self.attr_units: Dict[str, Optional[str]] = {}
+        self._build_signatures()
+        self._build_attr_units()
+
+    # ------------------------------------------------------------------
+    # Symbol-table construction
+    # ------------------------------------------------------------------
+    def _build_signatures(self) -> None:
+        for qual, info in self.project.functions.items():
+            node = info.node
+            args = node.args
+            ordered = (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+            units: Dict[str, Optional[str]] = {}
+            for arg in ordered:
+                unit = unit_from_annotation(arg.annotation)
+                if unit is None:
+                    unit = naming_fallback(arg.arg)
+                units[arg.arg] = unit
+            self.signatures[qual] = Signature(
+                param_units=units,
+                param_order=tuple(a.arg for a in ordered),
+                return_unit=unit_from_annotation(node.returns),
+                is_method=info.class_name is not None,
+            )
+
+    def _build_attr_units(self) -> None:
+        """``attr name -> unit`` from annotated class attributes.
+
+        Collected project-wide by attribute *name*: an annotated
+        ``replica_bytes: Bytes`` anywhere dimensions every
+        ``x.replica_bytes`` read.  Conflicting annotations for the same
+        name poison the entry (no unit).
+        """
+        for cls in self.project.classes.values():
+            for stmt in ast.walk(cls):
+                target = None
+                if isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name):
+                        target = stmt.target.id
+                    elif (
+                        isinstance(stmt.target, ast.Attribute)
+                        and isinstance(stmt.target.value, ast.Name)
+                        and stmt.target.value.id == "self"
+                    ):
+                        target = stmt.target.attr
+                if target is None:
+                    continue
+                unit = unit_from_annotation(stmt.annotation)
+                if unit is None:
+                    continue
+                if self.attr_units.get(target, unit) != unit:
+                    self.attr_units[target] = None  # conflicting: poison
+                else:
+                    self.attr_units[target] = unit
+
+    def attr_unit(self, name: str) -> Optional[str]:
+        """Unit of an attribute name: annotation first, then naming."""
+        if name in self.attr_units:
+            return self.attr_units[name]
+        return naming_fallback(name)
+
+    # ------------------------------------------------------------------
+    # Per-function checking
+    # ------------------------------------------------------------------
+    def check(self) -> Iterator[Tuple[FunctionInfo, UnitEvent]]:
+        """Yield every mismatch event across the project."""
+        for info in self.project.functions.values():
+            checker = _FunctionUnits(self, info)
+            for event in checker.run():
+                yield info, event
+
+    # Call resolution reuse: unambiguous candidates only ---------------
+    def call_signature(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[Tuple[str, Signature]]:
+        """The signature to check a call against, if unambiguous.
+
+        Name-based method candidates are used only when every candidate
+        agrees (same param order prefix units), otherwise skipped.
+        """
+        candidates = self.project.resolve_call(info, call)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            qual = candidates[0]
+            sig = self.signatures.get(qual)
+            return (qual, sig) if sig is not None else None
+        sigs = [self.signatures[c] for c in candidates if c in self.signatures]
+        if not sigs:
+            return None
+        first = sigs[0]
+        for sig in sigs[1:]:
+            if sig.param_order != first.param_order or sig.param_units != (
+                first.param_units
+            ):
+                return None
+        return candidates[0], first
+
+
+class _FunctionUnits:
+    """Unit inference within one function body."""
+
+    def __init__(self, checker: UnitChecker, info: FunctionInfo) -> None:
+        self.checker = checker
+        self.info = info
+        self.env: Dict[str, Optional[str]] = {}
+        sig = checker.signatures[info.qualname]
+        for name, unit in sig.param_units.items():
+            if unit is not None:
+                self.env[name] = unit
+        self.return_unit = sig.return_unit
+        self.events: List[UnitEvent] = []
+
+    def run(self) -> List[UnitEvent]:
+        for stmt in getattr(self.info.node, "body", []):
+            for node in ast.walk(stmt):
+                self._visit(node)
+        return self.events
+
+    # ------------------------------------------------------------------
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self._check_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._check_annassign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._check_augassign(node)
+        elif isinstance(node, ast.BinOp):
+            self._check_binop(node)
+        elif isinstance(node, ast.Compare):
+            self._check_compare(node)
+        elif isinstance(node, ast.Call):
+            self._check_call(node)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            self._check_return(node)
+
+    def _emit(
+        self, kind: str, left: str, right: str, node: ast.AST, detail: str
+    ) -> None:
+        self.events.append(UnitEvent(kind, left, right, node, detail))
+
+    # ------------------------------------------------------------------
+    def _check_assign(self, node: ast.Assign) -> None:
+        value_unit = self.unit_of(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                declared = self.env.get(target.id) or naming_fallback(target.id)
+                if (
+                    declared is not None
+                    and value_unit is not None
+                    and declared != value_unit
+                ):
+                    self._emit(
+                        "assign",
+                        declared,
+                        value_unit,
+                        node,
+                        f"assigning {value_unit} to {target.id} ({declared})",
+                    )
+                self.env[target.id] = value_unit or declared
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                declared = self._target_unit(target)
+                if (
+                    declared is not None
+                    and value_unit is not None
+                    and declared != value_unit
+                ):
+                    self._emit(
+                        "assign",
+                        declared,
+                        value_unit,
+                        node,
+                        f"assigning {value_unit} to a {declared} location",
+                    )
+
+    def _check_annassign(self, node: ast.AnnAssign) -> None:
+        declared = unit_from_annotation(node.annotation)
+        if isinstance(node.target, ast.Name) and declared is not None:
+            self.env[node.target.id] = declared
+        if node.value is None or declared is None:
+            return
+        value_unit = self.unit_of(node.value)
+        if value_unit is not None and value_unit != declared:
+            self._emit(
+                "assign",
+                declared,
+                value_unit,
+                node,
+                f"assigning {value_unit} to an annotated {declared} target",
+            )
+
+    def _check_augassign(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        target_unit = self._target_unit(node.target)
+        value_unit = self.unit_of(node.value)
+        if (
+            target_unit is not None
+            and value_unit is not None
+            and target_unit != value_unit
+        ):
+            self._emit(
+                "arith",
+                target_unit,
+                value_unit,
+                node,
+                f"augmented {target_unit} target by a {value_unit} value",
+            )
+
+    def _check_binop(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._emit(
+                "arith",
+                left,
+                right,
+                node,
+                f"{left} {op} {right}",
+            )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        units = [self.unit_of(o) for o in operands]
+        known = [(u, o) for u, o in zip(units, operands) if u is not None]
+        for (u1, _), (u2, _) in zip(known, known[1:]):
+            if u1 != u2:
+                self._emit(
+                    "compare",
+                    u1,
+                    u2,
+                    node,
+                    f"comparing {u1} with {u2}",
+                )
+
+    def _check_call(self, node: ast.Call) -> None:
+        resolved = self.checker.call_signature(self.info, node)
+        if resolved is None:
+            return
+        qual, sig = resolved
+        params = list(sig.param_order)
+        if sig.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for param, arg in zip(params, node.args):
+            self._check_argument(qual, sig, param, arg, node)
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in sig.param_units:
+                self._check_argument(qual, sig, keyword.arg, keyword.value, node)
+
+    def _check_argument(
+        self,
+        qual: str,
+        sig: Signature,
+        param: str,
+        arg: ast.AST,
+        call: ast.Call,
+    ) -> None:
+        expected = sig.param_units.get(param)
+        if expected is None:
+            return
+        actual = self.unit_of(arg)
+        if actual is not None and actual != expected:
+            short = qual.rsplit(".", 2)
+            self._emit(
+                "argument",
+                expected,
+                actual,
+                arg,
+                f"argument {param!r} of {'.'.join(short[-2:])}() expects "
+                f"{expected}, got {actual}",
+            )
+
+    def _check_return(self, node: ast.Return) -> None:
+        if self.return_unit is None:
+            return
+        actual = self.unit_of(node.value)
+        if actual is not None and actual != self.return_unit:
+            self._emit(
+                "return",
+                self.return_unit,
+                actual,
+                node,
+                f"function returns {self.return_unit}, got {actual}",
+            )
+
+    # ------------------------------------------------------------------
+    # Expression unit evaluation
+    # ------------------------------------------------------------------
+    def _target_unit(self, target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id) or naming_fallback(target.id)
+        if isinstance(target, ast.Attribute):
+            return self.checker.attr_unit(target.attr)
+        if isinstance(target, ast.Subscript):
+            return self._target_unit(target.value)
+        return None
+
+    def _converter_for(self, node: ast.AST) -> Optional[Tuple[str, str]]:
+        """The (from, to) pair when ``node`` is a conversion constant."""
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Call):
+            # int(PageSize.SIZE_2M) and friends.
+            func = node.func
+            fname = func.id if isinstance(func, ast.Name) else None
+            if fname in ("int", "float") and node.args:
+                return self._converter_for(node.args[0])
+        if name is not None and name in CONVERTERS:
+            return CONVERTERS[name]
+        return None
+
+    def _shift_units(self, amount: ast.AST) -> Optional[Tuple[str, str]]:
+        name = None
+        if isinstance(amount, ast.Name):
+            name = amount.id
+        elif isinstance(amount, ast.Attribute):
+            name = amount.attr
+        elif (
+            isinstance(amount, ast.BinOp)
+            and isinstance(amount.op, ast.Sub)
+        ):
+            # SHIFT_1G - SHIFT_2M: 2MB chunks <-> 1GB chunks.
+            hi = self._shift_units(amount.left)
+            lo = self._shift_units(amount.right)
+            if hi == SHIFTS["SHIFT_1G"] and lo == SHIFTS["SHIFT_2M"]:
+                return (PAGES_2M, PAGES_1G)
+            return None
+        if name is not None and name in SHIFTS:
+            return SHIFTS[name]
+        return None
+
+    def unit_of(self, node: ast.AST) -> Optional[str]:
+        """Best-effort unit of an expression (None = dimensionless/unknown)."""
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            converter = self._converter_for(node)
+            if converter is not None:
+                return converter[1]
+            return naming_fallback(node.id)
+        if isinstance(node, ast.Attribute):
+            converter = self._converter_for(node)
+            if converter is not None:
+                return converter[1]
+            return self.checker.attr_unit(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.unit_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.unit_of(node.value)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.unit_of(node.body)
+            orelse = self.unit_of(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node)
+        if isinstance(node, ast.Call):
+            return self._call_unit(node)
+        return None
+
+    def _binop_unit(self, node: ast.BinOp) -> Optional[str]:
+        left, right = node.left, node.right
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            for value, factor in ((left, right), (right, left)):
+                converter = self._converter_for(factor)
+                if converter is None:
+                    continue
+                src, dst = converter
+                value_unit = self.unit_of(value)
+                if isinstance(node.op, ast.Mult):
+                    # count[src] * factor -> dst (dimensionless counts
+                    # are assumed to be in the source unit).
+                    if value_unit in (src, None):
+                        return dst
+                    return None
+                if value is left:  # value / factor
+                    if value_unit in (dst, None):
+                        return src
+                    return None
+                return None
+            return None
+        if isinstance(node.op, (ast.RShift, ast.LShift)):
+            pair = self._shift_units(node.right)
+            if pair is None:
+                return None
+            fine, coarse = pair
+            value_unit = self.unit_of(node.left)
+            if isinstance(node.op, ast.RShift):
+                return coarse if value_unit in (fine, None) else None
+            return fine if value_unit in (coarse, None) else None
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            lu, ru = self.unit_of(left), self.unit_of(right)
+            if lu == ru:
+                return lu
+            if lu is None:
+                return ru
+            if ru is None:
+                return lu
+            return None  # mismatch reported separately
+        if isinstance(node.op, ast.Mod):
+            # x % ALIGN keeps x's unit (an in-page offset); x % n_nodes
+            # (round-robin interleave) produces an index in the divisor's
+            # dimension, so a disagreeing divisor makes the result unknown.
+            lu, ru = self.unit_of(left), self.unit_of(right)
+            return lu if ru in (None, lu) else None
+        return None
+
+    def _call_unit(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _PASSTHROUGH_CALLS:
+            if name == "astype" and isinstance(func, ast.Attribute):
+                return self.unit_of(func.value)
+            if node.args:
+                return self.unit_of(node.args[0])
+            return None
+        if name == "len":
+            return None
+        resolved = self.checker.call_signature(self.info, node)
+        if resolved is not None:
+            return resolved[1].return_unit
+        return None

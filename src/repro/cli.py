@@ -91,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint_cmd = sub.add_parser(
-        "lint", help="run the determinism linter (rules R001-R005)"
+        "lint",
+        help="run the determinism linter (R001-R005; --deep adds R101-R104)",
     )
     lint_cmd.add_argument(
         "paths",
@@ -105,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json"],
         default="text",
         help="output format (json for CI consumption)",
+    )
+    lint_cmd.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program rules R101-R104 (call-graph"
+        " effect inference + units-of-measure checking)",
+    )
+    lint_cmd.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of known findings; exit 0 unless *new*"
+        " findings appear",
+    )
+    lint_cmd.add_argument(
+        "--baseline-update",
+        action="store_true",
+        help="regenerate the --baseline file from the current findings"
+        " and exit 0",
     )
 
     for name in EXPERIMENTS:
@@ -139,15 +159,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _lint_main(paths: List[str], fmt: str) -> int:
-    """Run the determinism linter; non-zero exit when findings exist."""
-    if paths:
-        targets = [pathlib.Path(p) for p in paths]
+def _lint_main(args: argparse.Namespace) -> int:
+    """Run the determinism linter.
+
+    Exit codes: 0 clean (or no findings beyond the baseline), 1 when
+    reportable findings exist, 2 on usage errors (bad flags, missing or
+    malformed baseline).
+    """
+    import time
+
+    from repro.analysis.baseline import (
+        BaselineError,
+        filter_new,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.deep import deep_lint_paths
+
+    fmt = args.lint_format
+    if args.baseline_update and not args.baseline:
+        print("error: --baseline-update requires --baseline", file=sys.stderr)
+        return 2
+    if args.paths:
+        targets = [pathlib.Path(p) for p in args.paths]
     else:
         import repro
 
         targets = [pathlib.Path(repro.__file__).parent]
     findings = lint_paths(targets)
+    if args.deep:
+        t0 = time.perf_counter()
+        findings = findings + deep_lint_paths(targets)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        elapsed = time.perf_counter() - t0
+        print(f"deep analysis: {elapsed:.2f}s", file=sys.stderr)
+    if args.baseline_update:
+        write_baseline(pathlib.Path(args.baseline), findings)
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(pathlib.Path(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_new(findings, baseline)
     output = format_findings(findings, fmt)
     if output:
         print(output)
@@ -216,7 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_main(args.action)
 
     if args.command == "lint":
-        return _lint_main(args.paths, args.lint_format)
+        return _lint_main(args)
 
     if args.command == "profile":
         return _profile_main(args)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hardware.ibs import IbsSamples
+from repro.units import Samples, SamplesArray
 from repro.vm.address_space import AddressSpace
 
 
@@ -35,11 +36,11 @@ class PageSampleTable:
     """
 
     ids: np.ndarray
-    node_counts: np.ndarray
+    node_counts: SamplesArray
     thread_counts: np.ndarray
-    n_samples: int
+    n_samples: Samples
     #: Sampled stores per page (replication eligibility).
-    write_counts: np.ndarray = None
+    write_counts: SamplesArray = None
 
     @classmethod
     def from_samples(
@@ -99,7 +100,7 @@ class PageSampleTable:
         )
 
     @property
-    def totals(self) -> np.ndarray:
+    def totals(self) -> SamplesArray:
         """Total samples per page."""
         return self.node_counts.sum(axis=1)
 

@@ -38,6 +38,12 @@ from typing import Dict, List, Optional, Tuple
 #: profiler regardless of :attr:`SimConfig.profile`.
 PROFILE_ENV = "REPRO_PROFILE"
 
+#: Static-analysis registry (rule R101): everything in this module is
+#: observation-only and must have no transitive write effect on
+#: simulation state.  The deep linter also protects this module by
+#: default, so deleting this declaration does not disable the check.
+_RESULT_NEUTRAL = ("sim.profile",)
+
 #: Engine phases in execution order (``other`` holds the remainder).
 PHASES = (
     "premap",

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import Pages4K, Pages4KArray, ThreadId
 from repro.vm.address_space import AddressSpace
 from repro.vm.layout import GRANULES_PER_2M, SHIFT_1G, SHIFT_2M
 
@@ -42,7 +43,7 @@ class HotPageStats:
 class AccessTracker:
     """Accumulates per-granule access weight and sharing information."""
 
-    def __init__(self, n_granules: int) -> None:
+    def __init__(self, n_granules: Pages4K) -> None:
         if n_granules <= 0:
             raise ConfigurationError("n_granules must be positive")
         self.n_granules = n_granules
@@ -56,7 +57,9 @@ class AccessTracker:
         self._first_1g = np.full(n_gchunks, -1, dtype=np.int16)
         self._shared_1g = np.zeros(n_gchunks, dtype=bool)
 
-    def update(self, thread: int, granules: np.ndarray, weight_per_access: float) -> None:
+    def update(
+        self, thread: ThreadId, granules: Pages4KArray, weight_per_access: float
+    ) -> None:
         """Record one thread-epoch access stream."""
         g = np.asarray(granules, dtype=np.int64)
         if g.size == 0:

@@ -1,0 +1,81 @@
+"""Units-of-measure annotation vocabulary.
+
+Quantities crossing the vm/hardware/core layer boundaries are
+dimensioned: byte counts, 4KB granule counts (the package's base
+addressing unit), 2MB/1GB chunk counts, NUMA node ids, thread ids and
+IBS sample counts.  Two shipped bugs (the ``alloc_small`` carve-pin
+leak, the ``PageSampleTable`` thread-pair multiplier overflow) were
+unit confusions, so the static analyzer (:mod:`repro.analysis.units`,
+rules R102/R103) checks these dimensions mechanically.
+
+Annotate signatures with the aliases below (or the underlying
+``Annotated[int, "<unit>"]`` spelling, which the analyzer reads
+directly from the AST)::
+
+    from repro.units import Bytes, Pages4K
+
+    def mapped_bytes(self) -> Bytes: ...
+    def alloc_small(self, n: Pages4K) -> None: ...
+
+The aliases are plain :data:`typing.Annotated` types: they cost nothing
+at runtime and type checkers treat them as their base type.  Array
+aliases (``NodeArray`` etc.) dimension numpy arrays whose *elements*
+carry the unit.
+"""
+
+from __future__ import annotations
+
+from typing import Annotated, Any
+
+#: Canonical unit names understood by the analyzer.
+UNIT_BYTES = "bytes"
+UNIT_PAGES_4K = "pages4k"
+UNIT_PAGES_2M = "pages2m"
+UNIT_PAGES_1G = "pages1g"
+UNIT_NODE = "node"
+UNIT_TID = "tid"
+UNIT_SAMPLES = "samples"
+
+#: All canonical unit names.
+ALL_UNITS = (
+    UNIT_BYTES,
+    UNIT_PAGES_4K,
+    UNIT_PAGES_2M,
+    UNIT_PAGES_1G,
+    UNIT_NODE,
+    UNIT_TID,
+    UNIT_SAMPLES,
+)
+
+# Scalar aliases -------------------------------------------------------
+Bytes = Annotated[int, UNIT_BYTES]
+Pages4K = Annotated[int, UNIT_PAGES_4K]
+Pages2M = Annotated[int, UNIT_PAGES_2M]
+Pages1G = Annotated[int, UNIT_PAGES_1G]
+NodeId = Annotated[int, UNIT_NODE]
+ThreadId = Annotated[int, UNIT_TID]
+Samples = Annotated[int, UNIT_SAMPLES]
+
+# Array aliases (numpy arrays whose elements carry the unit) -----------
+BytesArray = Annotated[Any, UNIT_BYTES]
+Pages4KArray = Annotated[Any, UNIT_PAGES_4K]
+NodeArray = Annotated[Any, UNIT_NODE]
+ThreadArray = Annotated[Any, UNIT_TID]
+SamplesArray = Annotated[Any, UNIT_SAMPLES]
+
+#: Alias name -> canonical unit, for the AST-level analyzer (which sees
+#: annotation *names*, not resolved types).
+ALIAS_UNITS = {
+    "Bytes": UNIT_BYTES,
+    "Pages4K": UNIT_PAGES_4K,
+    "Pages2M": UNIT_PAGES_2M,
+    "Pages1G": UNIT_PAGES_1G,
+    "NodeId": UNIT_NODE,
+    "ThreadId": UNIT_TID,
+    "Samples": UNIT_SAMPLES,
+    "BytesArray": UNIT_BYTES,
+    "Pages4KArray": UNIT_PAGES_4K,
+    "NodeArray": UNIT_NODE,
+    "ThreadArray": UNIT_TID,
+    "SamplesArray": UNIT_SAMPLES,
+}

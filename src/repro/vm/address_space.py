@@ -24,6 +24,14 @@ import numpy as np
 
 from repro.errors import AllocationError, MappingError
 from repro.vm.frame_allocator import PhysicalMemory
+from repro.units import (
+    Bytes,
+    BytesArray,
+    NodeArray,
+    NodeId,
+    Pages4K,
+    Pages4KArray,
+)
 from repro.vm.layout import (
     GRANULES_PER_1G,
     GRANULES_PER_2M,
@@ -62,12 +70,12 @@ class AddressSpace:
     """One process's virtual address space over simulated physical memory."""
 
     def __init__(
-        self, n_granules: int, phys: PhysicalMemory, label: str = "anon"
+        self, n_granules: Pages4K, phys: PhysicalMemory, label: str = "anon"
     ) -> None:
         if n_granules <= 0:
             raise MappingError("address space must cover at least one granule")
         self.label = label
-        self.n_granules = int(n_granules)
+        self.n_granules: Pages4K = int(n_granules)
         self.n_chunks_2m = -(-self.n_granules // GRANULES_PER_2M)
         self.n_chunks_1g = -(-self.n_granules // GRANULES_PER_1G)
         self.phys = phys
@@ -89,7 +97,7 @@ class AddressSpace:
         self.replicated_4k = np.zeros(self.n_granules, dtype=bool)
         self.replicated_2m = np.zeros(self.n_chunks_2m, dtype=bool)
         self._replica_blocks: Dict[int, Dict[int, int]] = {}
-        self.replica_bytes = 0
+        self.replica_bytes: Bytes = 0
         # Count of 4KB-mapped granules per 2MB chunk (promotion check).
         self.mapped_count_2m = np.zeros(self.n_chunks_2m, dtype=np.int32)
         # 1GB chunks.
@@ -153,7 +161,7 @@ class AddressSpace:
         self._home_map_version = v
         return home_map
 
-    def home_nodes(self, granules: np.ndarray) -> np.ndarray:
+    def home_nodes(self, granules: Pages4KArray) -> NodeArray:
         """Home node per accessed granule; -1 where unmapped."""
         g = np.asarray(granules, dtype=np.int64)
         home_map = self._resolved_home_map()
@@ -210,7 +218,7 @@ class AddressSpace:
         start = chunk << SHIFT_1G
         return np.arange(start, min(start + GRANULES_PER_1G, self.n_granules))
 
-    def home_nodes_for(self, granules: np.ndarray, local_node: int) -> np.ndarray:
+    def home_nodes_for(self, granules: Pages4KArray, local_node: NodeId) -> NodeArray:
         """Home node per access for a thread on ``local_node``.
 
         Identical to :meth:`home_nodes` except that *reads of
@@ -230,7 +238,7 @@ class AddressSpace:
         c2 = g >> SHIFT_2M
         return self.replicated_4k[g] | (self.huge[c2] & self.replicated_2m[c2])
 
-    def replicate_backing(self, backing_id: int) -> int:
+    def replicate_backing(self, backing_id: int) -> Bytes:
         """Replicate a page onto every other node; returns bytes copied.
 
         Returns 0 (no change) when the page is already replicated, is a
@@ -273,7 +281,7 @@ class AddressSpace:
         self._bump_version()
         return bytes_copied
 
-    def unreplicate_backing(self, backing_id: int) -> int:
+    def unreplicate_backing(self, backing_id: int) -> Bytes:
         """Collapse a page's replicas (e.g. on write); returns bytes freed."""
         kind = self.backing_id_kind(backing_id)
         if kind is PageSize.SIZE_4K:
@@ -320,7 +328,7 @@ class AddressSpace:
         gchunk = backing_id - BACKING_ID_1G_OFFSET
         return 0 <= gchunk < self.n_chunks_1g and bool(self.giga[gchunk])
 
-    def node_of_backing(self, backing_id: int) -> int:
+    def node_of_backing(self, backing_id: int) -> NodeId:
         """Home node of a backing page (-1 if unmapped)."""
         kind = self.backing_id_kind(backing_id)
         if kind is PageSize.SIZE_4K:
@@ -332,7 +340,7 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # Faulting and explicit mapping
     # ------------------------------------------------------------------
-    def _alloc_node_for(self, preferred: int, huge: bool) -> int:
+    def _alloc_node_for(self, preferred: NodeId, huge: bool) -> NodeId:
         """Pick the node to allocate on, falling back when full."""
         node_mem = self.phys[preferred]
         if huge:
@@ -343,7 +351,7 @@ class AddressSpace:
         return self.phys.node_with_most_free()
 
     def fault_in(
-        self, granules: np.ndarray, node: int, thp_alloc: bool
+        self, granules: Pages4KArray, node: NodeId, thp_alloc: bool
     ) -> FaultStats:
         """Demand-fault any unmapped granules in an access stream.
 
@@ -402,7 +410,7 @@ class AddressSpace:
         self._bump_version()
 
     def premap_range(
-        self, start_granule: int, n_granules: int, node: int, thp_alloc: bool
+        self, start_granule: Pages4K, n_granules: Pages4K, node: NodeId, thp_alloc: bool
     ) -> FaultStats:
         """Map an entire range on one node (bulk first-touch).
 
@@ -446,7 +454,7 @@ class AddressSpace:
             g = span_end
         return stats
 
-    def premap_pattern_4k(self, start_granule: int, nodes: np.ndarray) -> None:
+    def premap_pattern_4k(self, start_granule: Pages4K, nodes: NodeArray) -> None:
         """Bulk-map a fully unmapped range as 4KB pages with given homes.
 
         ``nodes[i]`` is the home node of granule ``start_granule + i``.
@@ -476,7 +484,7 @@ class AddressSpace:
         self.mapped_count_2m[chunk_ids] += chunk_counts.astype(np.int32)
         self._bump_version()
 
-    def premap_pattern_2m(self, chunk_start: int, nodes: np.ndarray) -> None:
+    def premap_pattern_2m(self, chunk_start: int, nodes: NodeArray) -> None:
         """Bulk-back fully unmapped 2MB chunks as huge pages.
 
         ``nodes[i]`` is the home node of chunk ``chunk_start + i``.
@@ -497,7 +505,9 @@ class AddressSpace:
         for chunk, node in zip(chunks, nodes):
             self._back_huge(int(chunk), int(node))
 
-    def map_range_1g(self, start_granule: int, n_granules: int, node: int) -> FaultStats:
+    def map_range_1g(
+        self, start_granule: Pages4K, n_granules: Pages4K, node: NodeId
+    ) -> FaultStats:
         """Back a range with 1GB pages (hugetlbfs-style pre-allocation).
 
         The range must be 1GB-aligned and 1GB-sized and fully unmapped.
@@ -571,7 +581,7 @@ class AddressSpace:
         self.mapped_count_2m[chunk_lo:chunk_hi] = GRANULES_PER_2M
         self._bump_version()
 
-    def collapse_chunk(self, chunk: int, node: Optional[int] = None) -> bool:
+    def collapse_chunk(self, chunk: int, node: Optional[NodeId] = None) -> bool:
         """Promote 512 mapped 4KB pages into one 2MB page (khugepaged).
 
         ``node`` defaults to the plurality node of the constituent
@@ -605,7 +615,7 @@ class AddressSpace:
         self._bump_version()
         return True
 
-    def migrate_backing(self, backing_id: int, dst_node: int) -> int:
+    def migrate_backing(self, backing_id: int, dst_node: NodeId) -> Bytes:
         """Migrate one backing page to ``dst_node``; returns bytes moved.
 
         Returns 0 when the page is already on the destination or the
@@ -663,7 +673,7 @@ class AddressSpace:
         self._bump_version()
         return int(PageSize.SIZE_1G)
 
-    def migrate_granules(self, granules: np.ndarray, dst_nodes: np.ndarray) -> int:
+    def migrate_granules(self, granules: Pages4KArray, dst_nodes: NodeArray) -> Bytes:
         """Bulk-migrate 4KB-mapped granules; returns bytes moved.
 
         Granules must currently be 4KB-mapped.  Used after splitting a
@@ -710,7 +720,7 @@ class AddressSpace:
         """
         self.collapse_blocked[:] = False
 
-    def mapped_bytes(self) -> int:
+    def mapped_bytes(self) -> Bytes:
         """Total mapped bytes at any granularity."""
         small = int(np.count_nonzero(self.node4k >= 0)) * PAGE_4K
         huge = int(np.count_nonzero(self.huge)) * int(PageSize.SIZE_2M)
@@ -725,7 +735,7 @@ class AddressSpace:
             PageSize.SIZE_1G: int(np.count_nonzero(self.giga)),
         }
 
-    def bytes_per_node(self) -> np.ndarray:
+    def bytes_per_node(self) -> BytesArray:
         """Mapped bytes per home node."""
         out = np.zeros(self.n_nodes, dtype=np.int64)
         mapped4k = self.node4k[self.node4k >= 0].astype(np.int64)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.errors import AllocationError, ConfigurationError
+from repro.units import Bytes, NodeId, Pages4K
 from repro.vm.layout import ORDER_1G, ORDER_2M, PAGE_4K
 
 
@@ -62,12 +63,12 @@ class BuddyAllocator:
     # Queries
     # ------------------------------------------------------------------
     @property
-    def free_frames(self) -> int:
+    def free_frames(self) -> Pages4K:
         """Number of free 4KB frames."""
         return self._free_frames
 
     @property
-    def allocated_frames(self) -> int:
+    def allocated_frames(self) -> Pages4K:
         """Number of allocated 4KB frames."""
         return self.total_frames - self._free_frames
 
@@ -189,7 +190,9 @@ class PoolStats:
 class NodeMemory:
     """One NUMA node's DRAM: buddy allocator plus a small-frame pool."""
 
-    def __init__(self, node_id: int, dram_bytes: int, max_order: int = ORDER_1G) -> None:
+    def __init__(
+        self, node_id: NodeId, dram_bytes: Bytes, max_order: int = ORDER_1G
+    ) -> None:
         if dram_bytes < PAGE_4K:
             raise ConfigurationError("a node needs at least one frame of DRAM")
         self.node_id = node_id
@@ -202,18 +205,18 @@ class NodeMemory:
         #: Bytes held by explicit :meth:`inject_fragmentation` pins —
         #: allocator usage not backed by any mapping, which the runtime
         #: page-conservation invariant must account for separately.
-        self.test_pinned_bytes = 0
+        self.test_pinned_bytes: Bytes = 0
 
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
     @property
-    def used_bytes(self) -> int:
+    def used_bytes(self) -> Bytes:
         """Bytes allocated to pages (pool-held free frames do not count)."""
         return (self.buddy.allocated_frames - self._pool_free) * PAGE_4K
 
     @property
-    def free_bytes(self) -> int:
+    def free_bytes(self) -> Bytes:
         """Bytes available for new allocations (buddy free + pool free)."""
         return (self.buddy.free_frames + self._pool_free) * PAGE_4K
 
@@ -224,7 +227,7 @@ class NodeMemory:
     # ------------------------------------------------------------------
     # Small (4KB) frames — pooled, count-based
     # ------------------------------------------------------------------
-    def alloc_small(self, n: int) -> None:
+    def alloc_small(self, n: Pages4K) -> None:
         """Allocate ``n`` 4KB frames (identity untracked)."""
         if n < 0:
             raise ConfigurationError("frame count must be non-negative")
@@ -248,7 +251,7 @@ class NodeMemory:
             self._pool_free += 1 << order
         self._pool_free -= n
 
-    def free_small(self, n: int) -> None:
+    def free_small(self, n: Pages4K) -> None:
         """Free ``n`` 4KB frames back to the pool."""
         if n < 0:
             raise ConfigurationError("frame count must be non-negative")
@@ -331,16 +334,16 @@ class PhysicalMemory:
         return len(self.nodes)
 
     @property
-    def total_used_bytes(self) -> int:
+    def total_used_bytes(self) -> Bytes:
         """Bytes in use across all nodes."""
         return sum(node.used_bytes for node in self.nodes)
 
     @property
-    def total_free_bytes(self) -> int:
+    def total_free_bytes(self) -> Bytes:
         """Bytes free across all nodes."""
         return sum(node.free_bytes for node in self.nodes)
 
-    def node_with_most_free(self, exclude: Optional[int] = None) -> int:
+    def node_with_most_free(self, exclude: Optional[NodeId] = None) -> NodeId:
         """Node id with the most free memory (fallback allocation target)."""
         best, best_free = -1, -1
         for node in self.nodes:

@@ -1,0 +1,120 @@
+"""Tests for the lint-baseline machinery (``--baseline`` satellite)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    BaselineError,
+    baseline_counts,
+    filter_new,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.linter import Finding
+
+
+def finding(rule="R002", path="src/repro/sim/x.py", line=10, message="bad"):
+    return Finding(rule=rule, path=path, line=line, col=1, message=message)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_ignores_line_and_column():
+    a = finding(line=10)
+    b = Finding(rule="R002", path="src/repro/sim/x.py", line=99, col=7, message="bad")
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_fingerprint_distinguishes_rule_path_message():
+    base = finding()
+    assert fingerprint(base) != fingerprint(finding(rule="R003"))
+    assert fingerprint(base) != fingerprint(finding(path="src/other.py"))
+    assert fingerprint(base) != fingerprint(finding(message="worse"))
+
+
+def test_fingerprint_normalizes_path_spelling():
+    assert fingerprint(finding(path="./src/x.py")) == fingerprint(
+        finding(path="src/x.py")
+    )
+    assert fingerprint(finding(path="src\\x.py")) == fingerprint(
+        finding(path="src/x.py")
+    )
+
+
+def test_baseline_counts_duplicates():
+    counts = baseline_counts([finding(), finding(), finding(rule="R003")])
+    assert counts[fingerprint(finding())] == 2
+    assert counts[fingerprint(finding(rule="R003"))] == 1
+
+
+# ----------------------------------------------------------------------
+# Round trip and validation
+# ----------------------------------------------------------------------
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [finding(), finding(), finding(rule="R003")]
+    write_baseline(path, findings)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert load_baseline(path) == baseline_counts(findings)
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_load_malformed_json_raises(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],  # not an object
+        {"version": 99, "counts": {}},  # unknown version
+        {"version": BASELINE_VERSION},  # missing counts
+        {"version": BASELINE_VERSION, "counts": []},  # counts not a dict
+        {"version": BASELINE_VERSION, "counts": {"k": "one"}},  # bad value
+    ],
+)
+def test_load_rejects_bad_shapes(tmp_path, payload):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# Filtering
+# ----------------------------------------------------------------------
+def test_filter_new_absorbs_baselined_findings():
+    old = finding()
+    new = finding(message="fresh")
+    baseline = baseline_counts([old])
+    assert filter_new([old, new], baseline) == [new]
+
+
+def test_filter_new_counts_per_fingerprint():
+    # One baselined occurrence absorbs exactly one of two duplicates.
+    baseline = baseline_counts([finding()])
+    remaining = filter_new([finding(line=1), finding(line=2)], baseline)
+    assert len(remaining) == 1
+    assert remaining[0].line == 2  # absorbed in source order
+
+
+def test_filter_new_with_stale_entries_and_empty_baseline():
+    stale = baseline_counts([finding(message="long gone")])
+    fresh = finding()
+    assert filter_new([fresh], stale) == [fresh]
+    assert filter_new([fresh], {}) == [fresh]
+    assert filter_new([], stale) == []

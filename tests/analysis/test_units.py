@@ -1,0 +1,283 @@
+"""Unit tests for the units-of-measure inference pass (R102/R103 core).
+
+These drive :class:`repro.analysis.units.UnitChecker` directly over
+tiny in-memory projects and assert on the raw :class:`UnitEvent`
+stream, independent of rule classification and suppression (covered in
+``test_deep_rules.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import Project
+from repro.analysis.units import (
+    BYTES,
+    NODE,
+    PAGES_2M,
+    PAGES_4K,
+    SAMPLES,
+    TID,
+    UnitChecker,
+    naming_fallback,
+    unit_from_annotation,
+)
+
+
+def events_for(source, path="src/mod.py"):
+    project = Project.from_sources({path: source})
+    project.analyze()
+    checker = UnitChecker(project)
+    return [(info.name, event) for info, event in checker.check()]
+
+
+def pairs(events):
+    return {(name, e.left, e.right) for name, e in events}
+
+
+# ----------------------------------------------------------------------
+# Annotation parsing
+# ----------------------------------------------------------------------
+def annotation_unit(text):
+    return unit_from_annotation(ast.parse(text, mode="eval").body)
+
+
+def test_alias_annotations():
+    assert annotation_unit("Bytes") == BYTES
+    assert annotation_unit("Pages4K") == PAGES_4K
+    assert annotation_unit("units.NodeId") == NODE
+    assert annotation_unit("SamplesArray") == SAMPLES
+
+
+def test_annotated_literal_and_string_forms():
+    assert annotation_unit("Annotated[int, 'pages4k']") == PAGES_4K
+    assert annotation_unit("typing.Annotated[int, 'node']") == NODE
+    # `from __future__ import annotations` turns annotations into
+    # string constants; the parser must see through them.
+    assert unit_from_annotation(ast.Constant(value="Bytes")) == BYTES
+    assert unit_from_annotation(ast.Constant(value="Optional[Pages4K]")) == (
+        PAGES_4K
+    )
+
+
+def test_unknown_annotations_are_none():
+    assert annotation_unit("int") is None
+    assert annotation_unit("Annotated[int, 'furlongs']") is None
+    assert unit_from_annotation(None) is None
+
+
+# ----------------------------------------------------------------------
+# Naming fallback
+# ----------------------------------------------------------------------
+def test_naming_fallback_vocabulary():
+    assert naming_fallback("total_bytes") == BYTES
+    assert naming_fallback("nbytes") == BYTES
+    assert naming_fallback("n_granules") == PAGES_4K
+    assert naming_fallback("free_frames") == PAGES_4K
+    assert naming_fallback("n_chunks_2m") == PAGES_2M
+    assert naming_fallback("node_id") == NODE
+    assert naming_fallback("dst_node") == NODE
+    assert naming_fallback("thread_id") == TID
+    assert naming_fallback("n_samples") == SAMPLES
+
+
+def test_naming_fallback_exclusions():
+    # x_of_y names are mappings *indexed by* y, not quantities of y.
+    assert naming_fallback("chunk_of_granule") is None
+    assert naming_fallback("g_of_granule") is None
+    # faults_2m is a count of fault events, not 2MB pages: bare
+    # _2m/_4k suffixes deliberately do not participate.
+    assert naming_fallback("page_faults_2m") is None
+    assert naming_fallback("weight") is None
+
+
+# ----------------------------------------------------------------------
+# Mismatch events
+# ----------------------------------------------------------------------
+def test_arithmetic_mismatch_from_annotations():
+    source = "def f(home: NodeId, owner: ThreadId):\n    return home + owner\n"
+    events = events_for(source)
+    assert pairs(events) == {("f", NODE, TID)}
+
+
+def test_comparison_mismatch_from_naming():
+    source = (
+        "def f(n_samples, total_bytes):\n"
+        "    return n_samples > total_bytes\n"
+    )
+    events = events_for(source)
+    assert pairs(events) == {("f", SAMPLES, BYTES)}
+
+
+def test_assignment_to_dimensioned_name():
+    source = "def f(n_granules):\n    total_bytes = n_granules\n    return total_bytes\n"
+    events = events_for(source)
+    assert pairs(events) == {("f", BYTES, PAGES_4K)}
+    assert all(e.is_conversion for _, e in events)
+
+
+def test_matching_units_are_silent():
+    source = (
+        "def f(n_granules, more_granules, total_bytes, other_bytes):\n"
+        "    a = n_granules + more_granules\n"
+        "    b = total_bytes - other_bytes\n"
+        "    return a, b\n"
+    )
+    assert events_for(source) == []
+
+
+def test_unannotated_code_is_silent():
+    source = "def f(x, y):\n    return x + y\n"
+    assert events_for(source) == []
+
+
+# ----------------------------------------------------------------------
+# Conversion algebra
+# ----------------------------------------------------------------------
+def test_multiplying_by_page_4k_converts_to_bytes():
+    source = (
+        "def f(n_granules, other_bytes):\n"
+        "    return n_granules * PAGE_4K + other_bytes\n"
+    )
+    assert events_for(source) == []
+
+
+def test_dividing_by_page_4k_converts_to_granules():
+    source = (
+        "def f(total_bytes, n_granules):\n"
+        "    return total_bytes // PAGE_4K + n_granules\n"
+    )
+    assert events_for(source) == []
+
+
+def test_int_wrapped_converter_still_converts():
+    source = (
+        "def f(n_chunks_2m, other_bytes):\n"
+        "    return n_chunks_2m * int(PageSize.SIZE_2M) + other_bytes\n"
+    )
+    assert events_for(source) == []
+
+
+def test_shift_by_shift_2m_converts_granules_to_chunks():
+    good = "def f(granule):\n    n_chunks_2m = granule >> SHIFT_2M\n"
+    assert events_for(good) == []
+    bad = "def f(granule):\n    n_chunks_2m = granule\n"
+    assert pairs(events_for(bad)) == {("f", PAGES_2M, PAGES_4K)}
+
+
+def test_shift_difference_converts_chunks_to_gigachunks():
+    source = (
+        "def f(n_chunks_2m):\n"
+        "    n_chunks_1g = n_chunks_2m >> (SHIFT_1G - SHIFT_2M)\n"
+    )
+    assert events_for(source) == []
+
+
+def test_standalone_converter_reads_as_target_unit():
+    # Bare GRANULES_PER_2M is "the 4KB pages in one 2MB page".
+    good = "def f():\n    n_granules = GRANULES_PER_2M\n    return n_granules\n"
+    assert events_for(good) == []
+    bad = "def f():\n    nbytes = GRANULES_PER_2M\n    return nbytes\n"
+    assert pairs(events_for(bad)) == {("f", BYTES, PAGES_4K)}
+
+
+def test_modulo_keeps_unit_only_for_dimensionless_divisor():
+    # x % ALIGN is an in-unit offset...
+    bad = "def f(granule):\n    home_node = granule % 8\n"
+    assert pairs(events_for(bad)) == {("f", NODE, PAGES_4K)}
+    # ...but x % n_nodes is the round-robin interleave idiom: the
+    # result is a node index, not a granule count.
+    good = "def f(granule, n_nodes):\n    home_node = (granule + 3) % n_nodes\n"
+    assert events_for(good) == []
+
+
+def test_suggestion_names_the_conversion_factor():
+    events = events_for("def f(n_granules, nbytes):\n    return n_granules + nbytes\n")
+    assert len(events) == 1
+    _, event = events[0]
+    assert event.is_conversion
+    assert "PAGE_4K" in event.suggestion()
+
+
+# ----------------------------------------------------------------------
+# Signatures, attributes, returns
+# ----------------------------------------------------------------------
+def test_call_argument_checked_against_annotated_parameter():
+    source = (
+        "def alloc(n: Pages4K):\n"
+        "    return n\n"
+        "\n"
+        "def f(nbytes):\n"
+        "    return alloc(nbytes)\n"
+    )
+    events = events_for(source)
+    assert pairs(events) == {("f", PAGES_4K, BYTES)}
+    assert any("alloc" in e.detail for _, e in events)
+
+
+def test_keyword_argument_checked():
+    source = (
+        "def alloc(count, n: Pages4K = 0):\n"
+        "    return n\n"
+        "\n"
+        "def f(nbytes):\n"
+        "    return alloc(0, n=nbytes)\n"
+    )
+    assert pairs(events_for(source)) == {("f", PAGES_4K, BYTES)}
+
+
+def test_return_annotation_checked():
+    source = "def f(n_granules) -> Bytes:\n    return n_granules\n"
+    events = events_for(source)
+    assert pairs(events) == {("f", BYTES, PAGES_4K)}
+    assert events[0][1].kind == "return"
+
+
+def test_annotated_class_attribute_dimensions_reads():
+    source = (
+        "class A:\n"
+        "    footprint: Bytes\n"
+        "\n"
+        "def f(a, n_granules):\n"
+        "    return a.footprint + n_granules\n"
+    )
+    assert pairs(events_for(source)) == {("f", BYTES, PAGES_4K)}
+
+
+def test_conflicting_attribute_annotations_poison_the_name():
+    source = (
+        "class A:\n"
+        "    slot: Bytes\n"
+        "\n"
+        "class B:\n"
+        "    slot: Pages4K\n"
+        "\n"
+        "def f(a, n_granules):\n"
+        "    return a.slot + n_granules\n"
+    )
+    assert events_for(source) == []
+
+
+def test_ambiguous_method_candidates_are_skipped():
+    source = (
+        "class A:\n"
+        "    def place(self, n: Pages4K):\n"
+        "        return n\n"
+        "\n"
+        "class B:\n"
+        "    def place(self, n: Bytes):\n"
+        "        return n\n"
+        "\n"
+        "def f(obj, n_nodes):\n"
+        "    return obj.place(n_nodes)\n"
+    )
+    # Two candidates with disagreeing units: no basis to check against.
+    assert events_for(source) == []
+
+
+def test_passthrough_calls_preserve_units():
+    source = (
+        "def f(n_granules, nbytes):\n"
+        "    return int(n_granules) + abs(nbytes)\n"
+    )
+    assert pairs(events_for(source)) == {("f", PAGES_4K, BYTES)}
