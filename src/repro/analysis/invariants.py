@@ -51,6 +51,23 @@ _MONOTONIC_COUNTERS = (
     "page_faults_1g",
 )
 
+#: Action-summary fields reconciled between the executor's lifetime
+#: totals and the engine's per-interval action log.  Exact equality is
+#: safe, floats included: ``ActionExecutor.run_interval`` merges each
+#: interval summary into the totals in log order, so both sides
+#: accumulate in the identical sequence.
+_ACTION_FIELDS = (
+    "migrated_4k",
+    "migrated_2m",
+    "bytes_migrated",
+    "splits_2m",
+    "splits_1g",
+    "collapses_2m",
+    "replicated_pages",
+    "bytes_replicated",
+    "compute_s",
+)
+
 
 class InvariantViolation(SimulationError):
     """A runtime invariant failed, with the run context attached."""
@@ -322,4 +339,40 @@ class InvariantChecker:
                         )
                     )
                 self._prev_totals[name] = cumulative
+        self._check_action_conservation()
         self._epochs_checked += 1
+
+    def _check_action_conservation(self) -> None:
+        """Decisions in == actions out, between executor and action log.
+
+        Every decision the executor saw was either applied or skipped,
+        and the per-interval summaries the engine logged (and priced)
+        sum to exactly the executor's lifetime totals — i.e. no policy
+        action bypassed the executor and no accounted work lacks a
+        logged decision path.
+        """
+        executor = getattr(self.sim, "executor", None)
+        if executor is None:
+            return
+        seen = executor.decisions_seen
+        applied = executor.decisions_applied
+        skipped = executor.decisions_skipped
+        if seen != applied + skipped:
+            raise self._violation(
+                InvariantViolation(
+                    f"decision conservation broken: {seen} seen != "
+                    f"{applied} applied + {skipped} skipped"
+                )
+            )
+        for name in _ACTION_FIELDS:
+            logged = sum(
+                getattr(summary, name) for _, summary in self.sim.action_log
+            )
+            total = getattr(executor.totals, name)
+            if logged != total:
+                raise self._violation(
+                    InvariantViolation(
+                        f"action conservation broken for {name}: action log "
+                        f"sums to {logged}, executor totals say {total}"
+                    )
+                )

@@ -6,6 +6,8 @@ Examples::
     repro figure1 --quick --jobs 4
     repro table2 --scale 0.5
     repro run CG.D --machine B --policy carrefour-lp --quick
+    repro policies
+    repro trace SSCA.20 --policy carrefour-2m+replication --quick
     repro cache stats
     repro cache clear
     repro lint src/repro --format json
@@ -156,6 +158,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the machine-readable profile to PATH",
     )
+
+    sub.add_parser(
+        "policies",
+        help="list the policy registry with one-line descriptions",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run one benchmark uncached with the decision trace enabled",
+    )
+    trace_cmd.add_argument("workload")
+    trace_cmd.add_argument("--machine", default="A", choices=["A", "B"])
+    trace_cmd.add_argument("--policy", default="thp")
+    trace_cmd.add_argument("--backing-1g", action="store_true")
+    trace_cmd.add_argument("--quick", action="store_true", help="reduced scale")
+    trace_cmd.add_argument("--scale", type=float, default=None)
+    trace_cmd.add_argument("--seed", type=int, default=0)
+    trace_cmd.add_argument(
+        "--jsonl",
+        dest="jsonl_path",
+        default=None,
+        metavar="PATH",
+        help="also write the decision records as JSON lines to PATH",
+    )
     return parser
 
 
@@ -248,6 +274,43 @@ def _profile_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policies_main() -> int:
+    """List the policy registry with its documented descriptions."""
+    from repro.experiments.configs import POLICIES, policy_descriptions
+
+    descriptions = policy_descriptions()
+    width = max(len(name) for name in POLICIES)
+    print("policies:")
+    for name in POLICIES:
+        print(f"  {name:<{width}}  {descriptions[name]}")
+    print(
+        "\ncompose with '+', e.g. carrefour-2m+replication"
+        " (first member wins decision conflicts)"
+    )
+    return 0
+
+
+def _trace_main(args: argparse.Namespace) -> int:
+    """Run one benchmark with decision tracing and report the tally."""
+    from repro.sim.trace import run_traced
+
+    settings = _settings_from_args(args)
+    result, trace = run_traced(
+        args.workload,
+        args.machine,
+        args.policy,
+        settings,
+        backing_1g=args.backing_1g,
+    )
+    print(result.describe())
+    print(f"  simulated runtime={result.runtime_s:.3f}s")
+    print(trace.render())
+    if args.jsonl_path:
+        trace.write_jsonl(args.jsonl_path)
+        print(f"wrote {args.jsonl_path}")
+    return 0
+
+
 def _cache_main(action: str) -> int:
     store = ResultCache.default()
     if action == "clear":
@@ -280,6 +343,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "profile":
         return _profile_main(args)
+
+    if args.command == "policies":
+        return _policies_main()
+
+    if args.command == "trace":
+        return _trace_main(args)
 
     _apply_execution_flags(args)
 

@@ -26,7 +26,7 @@ migrations are charged through the usual cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING, Tuple
+from typing import Dict, Iterator, Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -34,8 +34,8 @@ from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
 from repro.core.metrics import PageSampleTable
-from repro.sim.policy import PlacementPolicy, PolicyActionSummary
-from repro.vm.layout import PAGE_2M, PAGE_4K
+from repro.sim.decisions import ChargeCompute, Decision, MigratePage, Note
+from repro.sim.policy import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -94,14 +94,13 @@ class AutoNumaPolicy(PlacementPolicy):
             sim.thp.disable_alloc()
             sim.thp.disable_promotion()
 
-    def on_interval(
+    def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> PolicyActionSummary:
-        summary = PolicyActionSummary()
+    ) -> Iterator[Decision]:
         # Every sampled access is a hint fault the scanner provoked.
-        summary.compute_s = len(samples) * self.config.hint_fault_cost_s
+        yield ChargeCompute(len(samples) * self.config.hint_fault_cost_s)
         if len(samples) == 0:
-            return summary
+            return
         table = PageSampleTable.from_samples(
             samples, sim.asp, sim.machine.n_nodes, granularity="backing"
         )
@@ -110,7 +109,7 @@ class AutoNumaPolicy(PlacementPolicy):
         order = np.argsort(-table.totals)
         for idx in order:
             if budget <= 0:
-                summary.notes.append("migration budget exhausted")
+                yield Note("migration budget exhausted")
                 break
             page_id = int(table.ids[idx])
             if not sim.asp.backing_is_live(page_id):
@@ -122,13 +121,7 @@ class AutoNumaPolicy(PlacementPolicy):
             self._streaks[page_id] = (node, streak)
             if streak < self.config.migrate_streak:
                 continue
-            moved = sim.asp.migrate_backing(page_id, node)
-            if moved == 0:
+            outcome = yield MigratePage(page_id, node)
+            if not outcome.applied:
                 continue
-            budget -= moved
-            summary.bytes_migrated += moved
-            if moved == PAGE_4K:
-                summary.migrated_4k += 1
-            elif moved == PAGE_2M:
-                summary.migrated_2m += 1
-        return summary
+            budget -= outcome.bytes_moved

@@ -12,12 +12,17 @@ same engine at 4KB granularity is the original Carrefour.  The engine
 is deliberately size-agnostic: it acts on whatever backing pages the
 address space currently has, which is what lets Carrefour-LP reuse it
 after splitting.
+
+The engine is a *decider*: :meth:`CarrefourEngine.decide_placement`
+yields typed :mod:`repro.sim.decisions` and rate-limits its migration
+budget on the :class:`~repro.sim.decisions.Outcome` the executor sends
+back — it never touches the address space itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Set, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Iterator, Optional, Set, TYPE_CHECKING
 
 import numpy as np
 
@@ -26,9 +31,15 @@ from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
 from repro.core.metrics import PageSampleTable
-from repro.sim.policy import PlacementPolicy, PolicyActionSummary
-from repro.vm.address_space import AddressSpace, BACKING_ID_2M_OFFSET
-from repro.vm.layout import PAGE_2M, PAGE_4K, PageSize
+from repro.sim.decisions import (
+    ChargeCompute,
+    Decision,
+    MigratePage,
+    Note,
+    ReplicatePage,
+)
+from repro.sim.policy import PlacementPolicy
+from repro.vm.address_space import AddressSpace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -71,7 +82,7 @@ class CarrefourConfig:
 
 
 class CarrefourEngine:
-    """Stateful Carrefour placement over an address space."""
+    """Stateful Carrefour decider over an address space."""
 
     def __init__(self, config: Optional[CarrefourConfig] = None, seed: int = 0) -> None:
         self.config = config or CarrefourConfig()
@@ -90,18 +101,17 @@ class CarrefourEngine:
             or window.imbalance() > cfg.imbalance_threshold_pct
         )
 
-    def place(
+    def decide_placement(
         self,
         table: PageSampleTable,
         address_space: AddressSpace,
         n_nodes: int,
-    ) -> PolicyActionSummary:
-        """Apply the migrate/interleave rule to every sampled page."""
+    ) -> Iterator[Decision]:
+        """Yield the migrate/interleave decision for every sampled page."""
         cfg = self.config
-        summary = PolicyActionSummary()
-        summary.compute_s = table.n_samples * cfg.compute_s_per_sample
+        yield ChargeCompute(table.n_samples * cfg.compute_s_per_sample)
         if table.ids.size == 0:
-            return summary
+            return
         totals = table.totals
         eligible = totals >= cfg.min_samples_per_page
         # Hottest pages first: under a finite budget, moving them pays most.
@@ -117,7 +127,7 @@ class CarrefourEngine:
         budget = cfg.max_migration_bytes_per_interval
         for idx in order:
             if budget <= 0:
-                summary.notes.append("migration budget exhausted")
+                yield Note("migration budget exhausted")
                 break
             page_id = int(table.ids[idx])
             if not address_space.backing_is_live(page_id):
@@ -143,31 +153,23 @@ class CarrefourEngine:
                     continue
                 target = int(self._rng.integers(0, n_nodes))
                 self._interleaved.add(page_id)
-            moved = address_space.migrate_backing(page_id, target)
-            if moved == 0:
+            outcome = yield MigratePage(page_id, target)
+            if not outcome.applied:
                 continue
-            budget -= moved
-            summary.bytes_migrated += moved
-            if moved == PAGE_4K:
-                summary.migrated_4k += 1
-            elif moved == PAGE_2M:
-                summary.migrated_2m += 1
+            budget -= outcome.bytes_moved
 
         # Second pass: spend leftover budget upgrading read-mostly
         # shared pages to replicas (hottest first, as ordered above).
         for page_id in replication_candidates:
             if budget <= 0:
-                summary.notes.append("replication deferred (budget)")
+                yield Note("replication deferred (budget)")
                 break
             if not address_space.backing_is_live(page_id):
                 continue
-            copied = address_space.replicate_backing(page_id)
-            if copied:
-                budget -= copied
-                summary.bytes_replicated += copied
-                summary.replicated_pages += 1
+            outcome = yield ReplicatePage(page_id)
+            if outcome.applied:
+                budget -= outcome.bytes_moved
                 self._interleaved.discard(page_id)
-        return summary
 
     def _memory_headroom(self, address_space: AddressSpace) -> bool:
         """Whether free memory permits replication (Carrefour's gate)."""
@@ -214,48 +216,15 @@ class CarrefourPolicy(PlacementPolicy):
             sim.thp.disable_alloc()
             sim.thp.disable_promotion()
 
-    def on_interval(
+    def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> PolicyActionSummary:
+    ) -> Iterator[Decision]:
         if not self.engine.should_engage(window):
-            summary = PolicyActionSummary()
-            summary.notes.append("carrefour disabled (thresholds)")
-            return summary
+            yield Note("carrefour disabled (thresholds)")
+            return
         table = PageSampleTable.from_samples(
             samples, sim.asp, sim.machine.n_nodes, granularity="backing"
         )
-        return self.engine.place(table, sim.asp, sim.machine.n_nodes)
-
-
-def split_backing_page(
-    address_space: AddressSpace, page_id: int, block_collapse: bool = True
-) -> int:
-    """Split one 2MB or 1GB backing page into 4KB pages.
-
-    Returns the number of 2MB-equivalents split (1 for a 2MB page, 512
-    for a 1GB page) for cost accounting; 0 when the id names a 4KB page.
-
-    With ``block_collapse`` (the default for policy-driven splits) the
-    demoted range is madvised NOHUGEPAGE so khugepaged does not
-    immediately undo the decision; the conservative component clears
-    the marks when it re-enables promotion.
-    """
-    kind = AddressSpace.backing_id_kind(page_id)
-    if kind is PageSize.SIZE_4K:
-        return 0
-    if kind is PageSize.SIZE_2M:
-        chunk = page_id - BACKING_ID_2M_OFFSET
-        address_space.split_chunk(chunk)
-        if block_collapse:
-            address_space.block_collapse(chunk)
-        return 1
-    from repro.vm.address_space import BACKING_ID_1G_OFFSET
-    from repro.vm.layout import CHUNKS_2M_PER_1G
-
-    gchunk = page_id - BACKING_ID_1G_OFFSET
-    address_space.split_gchunk(gchunk)
-    if block_collapse:
-        base = gchunk * CHUNKS_2M_PER_1G
-        for chunk in range(base, base + CHUNKS_2M_PER_1G):
-            address_space.block_collapse(chunk)
-    return 512
+        yield from self.engine.decide_placement(
+            table, sim.asp, sim.machine.n_nodes
+        )

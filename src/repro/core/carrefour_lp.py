@@ -20,8 +20,8 @@ the configurations of Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, TYPE_CHECKING
 
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
@@ -33,7 +33,8 @@ from repro.core.conservative import (
 )
 from repro.core.metrics import PageSampleTable
 from repro.core.reactive import ReactiveComponent, ReactiveConfig, ReactiveDecision
-from repro.sim.policy import PlacementPolicy, PolicyActionSummary
+from repro.sim.decisions import Decision, Note
+from repro.sim.policy import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -108,27 +109,34 @@ class CarrefourLpPolicy(PlacementPolicy):
             sim.ibs.rate = min(1.0, sim.ibs.rate * 8.0)
             sim.ibs.cost_cycles_per_sample /= 5.0
 
-    def on_interval(
+    def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> PolicyActionSummary:
-        summary = PolicyActionSummary()
+    ) -> Iterator[Decision]:
         cons_decision = None
         react_decision = None
 
+        # The components run in algorithm order *within one generator*:
+        # the executor applies each yielded decision before the next
+        # line runs, so the reactive component sees the THP state the
+        # conservative one just set, and the Carrefour table is built
+        # only after the reactive splits happened — exactly the old
+        # self-mutating sequence.
         if self.conservative is not None:
-            cons_decision = self.conservative.step(sim, window)
+            cons_decision = yield from self.conservative.decide(sim, window)
 
         if self.reactive is not None:
-            react_decision = self.reactive.step(sim, samples, summary)
+            react_decision = yield from self.reactive.decide(sim, samples)
 
         engaged = self.engine.should_engage(window)
         if engaged:
             table = PageSampleTable.from_samples(
                 samples, sim.asp, sim.machine.n_nodes, granularity="backing"
             )
-            summary.merge(self.engine.place(table, sim.asp, sim.machine.n_nodes))
+            yield from self.engine.decide_placement(
+                table, sim.asp, sim.machine.n_nodes
+            )
         else:
-            summary.notes.append("carrefour disabled (thresholds)")
+            yield Note("carrefour disabled (thresholds)")
 
         self.interval_log.append(
             LpIntervalLog(
@@ -138,4 +146,3 @@ class CarrefourLpPolicy(PlacementPolicy):
                 carrefour_engaged=engaged,
             )
         )
-        return summary

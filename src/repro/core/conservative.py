@@ -14,15 +14,26 @@ help, using two criteria (Algorithm 1, lines 4-9):
 
 The maximum (not average) per-core fault share is used because
 page-table lock contention is set by the slowest core holding the lock.
+
+The component is a decider: it yields THP-toggle decisions for the
+executor instead of flipping ``sim.thp`` itself, and returns its
+:class:`ConservativeDecision` as the generator's return value.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Generator, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
+from repro.sim.decisions import (
+    ClearCollapseBlocks,
+    Decision,
+    Outcome,
+    ToggleThpAlloc,
+    ToggleThpPromotion,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -56,21 +67,23 @@ class ConservativeComponent:
     def __init__(self, config: ConservativeConfig = ConservativeConfig()) -> None:
         self.config = config
 
-    def step(self, sim: "Simulation", window: CounterBank) -> ConservativeDecision:
+    def decide(
+        self, sim: "Simulation", window: CounterBank
+    ) -> Generator[Decision, Outcome, ConservativeDecision]:
         """Algorithm 1 lines 4-9 for one monitoring interval."""
         decision = ConservativeDecision(
             walk_l2_pct=window.pct_l2_misses_from_walks(),
             max_fault_pct=window.max_fault_time_fraction(),
         )
         if decision.walk_l2_pct > self.config.walk_l2_threshold_pct:
-            sim.thp.enable_alloc()
-            sim.thp.enable_promotion()
+            yield ToggleThpAlloc(True)
+            yield ToggleThpPromotion(True)
             # Lift any MADV_NOHUGEPAGE marks left by earlier splits so
             # khugepaged can actually re-create the large pages.
-            sim.asp.clear_collapse_blocks()
+            yield ClearCollapseBlocks()
             decision.enabled_alloc = True
             decision.enabled_promotion = True
         elif decision.max_fault_pct > self.config.fault_time_threshold_pct:
-            sim.thp.enable_alloc()
+            yield ToggleThpAlloc(True)
             decision.enabled_alloc = True
         return decision

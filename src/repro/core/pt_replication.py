@@ -1,0 +1,66 @@
+"""Page-table replication as a placement policy (Mitosis-style).
+
+Large pages shrink the data-TLB problem but leave another NUMA blind
+spot: the page tables themselves live on one node, so every TLB-miss
+walk from any other node crosses the interconnect once per radix level.
+Mitosis [Achermann et al., ASPLOS'20] eliminates that cost by keeping a
+per-node replica of the page tables and pointing each core's CR3 at the
+local copy.
+
+:class:`PtReplicationPolicy` models both sides of that trade:
+
+* ``pt-remote`` turns on page-table NUMA modelling
+  (:attr:`~repro.sim.engine.PageTableState.numa_enabled`) and does
+  nothing else — threads off the home node pay
+  ``hops x hop_latency_cycles x walk_levels`` extra cycles per TLB miss,
+  the cost component every other policy here implicitly ignores;
+* ``replication`` additionally yields one
+  :class:`~repro.sim.decisions.ReplicatePageTables` decision on its
+  first interval, removing the penalty at the price of copying the
+  table pages to every other node (charged like replication traffic
+  through the usual migration cost model).
+
+Because the decision is a typed one, it composes with any other decider
+— ``carrefour-2m+replication`` runs Carrefour's data placement and
+Mitosis's table placement in one stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.hardware.counters import CounterBank
+from repro.hardware.ibs import IbsSamples
+from repro.sim.decisions import Decision, ReplicatePageTables
+from repro.sim.policy import PlacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+class PtReplicationPolicy(PlacementPolicy):
+    """Model remote page-table walks; optionally replicate the tables."""
+
+    interval_s = 1.0
+
+    def __init__(self, replicate: bool = True, name: Optional[str] = None) -> None:
+        self.replicate = replicate
+        self.name = name or ("replication" if replicate else "pt-remote")
+        self._done = False
+
+    def setup(self, sim: "Simulation") -> None:
+        sim.page_tables.numa_enabled = True
+
+    def wants_ibs(self) -> bool:
+        # The decision needs no samples; keep the IBS engine off so the
+        # policy's only costs are the walks and the copy itself.
+        return False
+
+    def decide(
+        self, sim: "Simulation", samples: IbsSamples, window: CounterBank
+    ) -> Iterator[Decision]:
+        if not self.replicate or self._done:
+            return
+        outcome = yield ReplicatePageTables()
+        if outcome.applied:
+            self._done = True

@@ -18,22 +18,34 @@ of sampled accesses, i.e. over half of a node's fair share on an
 8-node machine — are always split and their constituent 4KB pages
 interleaved across nodes (line 19): a single page hotter than that
 cannot be balanced by migration no matter where it goes.
+
+The component is a decider: splits, interleaves and THP toggles are
+yielded as typed :mod:`repro.sim.decisions` for the executor, and the
+:class:`ReactiveDecision` log record is the generator's return value.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import Generator, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro._util import rng_for
 from repro.errors import ConfigurationError
 from repro.hardware.ibs import IbsSamples
-from repro.core.carrefour import split_backing_page
 from repro.core.lar_estimator import LarEstimate, estimate_lar_after_carrefour
 from repro.core.metrics import PageSampleTable
-from repro.sim.policy import PolicyActionSummary
+from repro.sim.decisions import (
+    ChargeCompute,
+    Decision,
+    InterleaveRegion,
+    Outcome,
+    Split1G,
+    Split2M,
+    ToggleThpAlloc,
+    ToggleThpPromotion,
+)
 from repro.vm.layout import PageSize
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,19 +111,12 @@ class ReactiveComponent:
         self._backoff = 0
         self._lar_at_split: Optional[float] = None
 
-    def step(
-        self,
-        sim: "Simulation",
-        samples: IbsSamples,
-        summary: PolicyActionSummary,
-    ) -> ReactiveDecision:
-        """Algorithm 1 lines 10-19 for one monitoring interval.
-
-        Mutates ``summary`` with the split/interleave work performed so
-        the engine charges its cost.
-        """
+    def decide(
+        self, sim: "Simulation", samples: IbsSamples
+    ) -> Generator[Decision, Outcome, ReactiveDecision]:
+        """Algorithm 1 lines 10-19 for one monitoring interval."""
         decision = ReactiveDecision(split_pages=self.split_pages)
-        summary.compute_s += len(samples) * self.config.compute_s_per_sample
+        yield ChargeCompute(len(samples) * self.config.compute_s_per_sample)
         if len(samples) == 0:
             decision.notes.append("no samples")
             return decision
@@ -157,18 +162,18 @@ class ReactiveComponent:
         elif self.split_pages or not sim.thp.alloc_enabled:
             shared_large = large & table.shared_mask()
             for pid in table.ids[shared_large]:
-                if not sim.asp.backing_is_live(int(pid)):
+                pid = int(pid)
+                if not sim.asp.backing_is_live(pid):
                     continue
-                n_2m = split_backing_page(sim.asp, int(pid))
                 if pid >= (1 << 41):  # 1GB id space
-                    summary.splits_1g += 1
+                    yield Split1G(pid)
                 else:
-                    summary.splits_2m += n_2m
+                    yield Split2M(pid)
                 decision.shared_pages_split += 1
             # Disabling 2MB allocation also parks khugepaged: in Linux,
             # setting THP enabled=never stops both paths.
-            sim.thp.disable_alloc()
-            sim.thp.disable_promotion()
+            yield ToggleThpAlloc(False)
+            yield ToggleThpPromotion(False)
             if decision.shared_pages_split:
                 self._cooldown = self.config.split_cooldown_intervals
                 self._lar_at_split = estimate.current
@@ -180,19 +185,16 @@ class ReactiveComponent:
             if not sim.asp.backing_is_live(pid):
                 continue  # already split above
             granules = sim.asp.granules_of_backing(pid)
-            n_2m = split_backing_page(sim.asp, pid)
             if pid >= (1 << 41):
-                summary.splits_1g += 1
+                yield Split1G(pid)
             else:
-                summary.splits_2m += n_2m
+                yield Split2M(pid)
             decision.hot_pages_split += 1
             # Interleave the constituent 4KB pages round-robin across
             # nodes, starting at a random offset.
             start = int(self._rng.integers(0, sim.machine.n_nodes))
             targets = (start + np.arange(granules.size)) % sim.machine.n_nodes
-            moved = sim.asp.migrate_granules(granules, targets)
-            summary.bytes_migrated += moved
-            summary.migrated_4k += moved // 4096
+            yield InterleaveRegion(granules, targets, page_id=pid)
             decision.granules_interleaved += int(granules.size)
         if decision.hot_pages_split:
             decision.notes.append(

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import difflib
+import re
+from pathlib import Path
+from typing import Callable, Dict, List
 
-from repro.errors import UnknownPolicyError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.core.autonuma import AutoNumaPolicy
 from repro.core.carrefour import CarrefourPolicy
 from repro.core.carrefour_lp import CarrefourLpPolicy
-from repro.sim.policy import LinuxPolicy, PlacementPolicy
+from repro.core.pt_replication import PtReplicationPolicy
+from repro.sim.policy import LinuxPolicy, PlacementPolicy, PolicyStack
 
 #: Factories for every policy configuration in the evaluation:
 #:
@@ -33,6 +37,17 @@ from repro.sim.policy import LinuxPolicy, PlacementPolicy
 #: ``autonuma`` / ``autonuma-4k``
 #:     Linux NUMA balancing (hint-fault migrate-to-accessor) with THP
 #:     on/off — the mainline alternative, which cannot split pages.
+#: ``interleave-4k`` / ``interleave-thp``
+#:     numactl-style round-robin allocation with THP off/on — the
+#:     manual remedy that trades locality for balance.
+#: ``pt-remote``
+#:     THP plus page-table NUMA modelling: remote threads pay
+#:     interconnect hops on every TLB-miss walk level (the cost the
+#:     other configs implicitly ignore).
+#: ``replication``
+#:     Mitosis-style page-table replication: same walk modelling, but
+#:     the tables are copied to every node on the first interval, making
+#:     all walks local again (extension experiment).
 POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
     "linux-4k": lambda seed: LinuxPolicy(thp=False),
     "thp": lambda seed: LinuxPolicy(thp=True),
@@ -46,15 +61,68 @@ POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
     "autonuma-4k": lambda seed: AutoNumaPolicy(thp=False),
     "interleave-4k": lambda seed: LinuxPolicy(thp=False, interleave=True),
     "interleave-thp": lambda seed: LinuxPolicy(thp=True, interleave=True),
+    "pt-remote": lambda seed: PtReplicationPolicy(replicate=False),
+    "replication": lambda seed: PtReplicationPolicy(replicate=True),
 }
 
 
-def make_policy(name: str, seed: int = 0) -> PlacementPolicy:
-    """Instantiate a policy configuration by name."""
+def _make_single(name: str, seed: int) -> PlacementPolicy:
     try:
         factory = POLICIES[name]
     except KeyError:
+        close = difflib.get_close_matches(name, POLICIES, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise UnknownPolicyError(
-            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+            f"unknown policy {name!r}{hint}; available: {sorted(POLICIES)}"
         ) from None
     return factory(seed)
+
+
+def make_policy(name: str, seed: int = 0) -> PlacementPolicy:
+    """Instantiate a policy configuration by name.
+
+    ``"a+b"`` composes registry entries into a :class:`PolicyStack`
+    running both deciders each interval (e.g.
+    ``"carrefour-2m+replication"``); decision conflicts between members
+    are resolved first-member-wins by the executor.
+    """
+    if "+" not in name:
+        return _make_single(name, seed)
+    parts = [part.strip() for part in name.split("+")]
+    if any(not part for part in parts):
+        raise ConfigurationError(f"empty member in policy stack {name!r}")
+    if len(set(parts)) != len(parts):
+        raise ConfigurationError(f"duplicate member in policy stack {name!r}")
+    members = [_make_single(part, seed) for part in parts]
+    return PolicyStack(members, name=name)
+
+
+def policy_descriptions() -> Dict[str, str]:
+    """One-line description per registry entry, from the docs above.
+
+    Parsed out of this module's ``#:`` block so ``repro policies`` and
+    the documentation can never drift apart.
+    """
+    lines = Path(__file__).read_text(encoding="utf-8").splitlines()
+    docs: Dict[str, List[str]] = {}
+    current: List[str] = []
+    started = False
+    for line in lines:
+        if not line.startswith("#:"):
+            if started:
+                break
+            continue
+        text = line[2:].strip()
+        if text.startswith("``"):
+            started = True
+            names = re.findall(r"``([^`]+)``", text)
+            current = [n for n in names if n in POLICIES]
+            for n in current:
+                docs[n] = []
+        elif started and current and text:
+            for n in current:
+                docs[n].append(text)
+    return {
+        name: " ".join(docs.get(name, [])) or "(undocumented)"
+        for name in POLICIES
+    }

@@ -72,11 +72,15 @@ class SimConfig:
     #: ``REPRO_PROFILE=1`` in the environment enables it regardless of
     #: this flag.
     profile: bool = False
+    #: Record every policy decision and its outcome
+    #: (:mod:`repro.sim.trace`); ``REPRO_TRACE=1`` in the environment
+    #: enables it regardless of this flag.
+    trace: bool = False
 
     #: Fields that cannot influence simulation results and are therefore
     #: excluded from memo keys and persistent-cache fingerprints.
     _CACHE_KEY_EXCLUDE: ClassVar[FrozenSet[str]] = frozenset(
-        {"check_invariants", "profile"}
+        {"check_invariants", "profile", "trace"}
     )
 
     def __post_init__(self) -> None:

@@ -1,0 +1,273 @@
+"""Typed decisions: the vocabulary policies use to request actions.
+
+Policies never touch the :class:`~repro.vm.address_space.AddressSpace`
+themselves.  A policy's :meth:`decide` is a generator that *yields*
+decision objects; the engine's :class:`~repro.sim.engine.ActionExecutor`
+applies each one against the simulation state and sends back an
+:class:`Outcome`, so deciders that rate-limit on actual work performed
+(Carrefour's migration budget) see exactly what the mutation achieved.
+
+Every decision knows its *conflict targets* — the pieces of simulation
+state it claims (a backing page, a THP toggle, the page tables).  When
+several deciders run as a stack, the executor resolves conflicts
+deterministically: the first decider to act on a target wins, later
+deciders' decisions on the same target are skipped with
+``Outcome(applied=False, reason="conflict")``.
+
+Decisions also know how to serialise themselves (:meth:`payload`) for
+the JSONL decision trace (:mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.units import NodeArray, NodeId, Pages4KArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.policy import PolicyActionSummary
+
+#: Conflict-target key: ("page", backing_id), ("thp", toggle-name) or
+#: ("pt", "replication").
+Target = Tuple[str, object]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What the executor did with one decision (sent back to the decider)."""
+
+    applied: bool
+    #: Bytes actually moved/copied by the action (0 when nothing moved).
+    bytes_moved: int = 0
+    #: Pages (or 2MB-equivalents for splits) the action touched.
+    count: int = 0
+    #: Why the decision was not applied ("" when applied).
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Base decision; subclasses define what state they act on."""
+
+    def targets(self) -> Tuple[Target, ...]:
+        """Conflict-target keys this decision claims (may be empty)."""
+        return ()
+
+    def payload(self) -> dict:
+        """JSON-able trace record body for this decision."""
+        return {"kind": type(self).__name__}
+
+
+@dataclass(frozen=True)
+class ChargeCompute(Decision):
+    """Charge daemon compute time (sample processing etc.), seconds."""
+
+    seconds: float
+
+    def payload(self) -> dict:
+        return {"kind": "ChargeCompute", "seconds": self.seconds}
+
+
+@dataclass(frozen=True)
+class Note(Decision):
+    """Attach a human-readable note to the interval's action summary."""
+
+    text: str
+
+    def payload(self) -> dict:
+        return {"kind": "Note", "text": self.text}
+
+
+@dataclass(frozen=True)
+class MigratePage(Decision):
+    """Migrate one backing page (any size) to ``target_node``."""
+
+    page_id: int
+    target_node: NodeId
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        return {
+            "kind": "MigratePage",
+            "page_id": self.page_id,
+            "target_node": self.target_node,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class InterleaveRegion(Decision):
+    """Bulk-migrate 4KB-mapped granules to per-granule target nodes.
+
+    ``eq=False``: the numpy payload arrays make value comparison both
+    expensive and ambiguous; identity semantics are what the executor
+    needs.
+    """
+
+    granules: Pages4KArray
+    target_nodes: NodeArray
+    #: Backing page the granules came from (conflict key), when known.
+    page_id: Optional[int] = None
+
+    def targets(self) -> Tuple[Target, ...]:
+        if self.page_id is None:
+            return ()
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        g = np.asarray(self.granules)
+        return {
+            "kind": "InterleaveRegion",
+            "page_id": self.page_id,
+            "n_granules": int(g.size),
+            "granule_lo": int(g.min()) if g.size else None,
+            "granule_hi": int(g.max()) if g.size else None,
+        }
+
+
+@dataclass(frozen=True)
+class Split2M(Decision):
+    """Demote one 2MB backing page into 512 4KB pages."""
+
+    page_id: int
+    #: madvise the demoted range NOHUGEPAGE so khugepaged does not
+    #: immediately undo the decision.
+    block_collapse: bool = True
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        return {
+            "kind": "Split2M",
+            "page_id": self.page_id,
+            "block_collapse": self.block_collapse,
+        }
+
+
+@dataclass(frozen=True)
+class Split1G(Decision):
+    """Demote one 1GB backing page into 4KB pages."""
+
+    page_id: int
+    block_collapse: bool = True
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        return {
+            "kind": "Split1G",
+            "page_id": self.page_id,
+            "block_collapse": self.block_collapse,
+        }
+
+
+@dataclass(frozen=True)
+class Collapse2M(Decision):
+    """Promote one fully 4KB-mapped 2MB chunk into a huge page."""
+
+    chunk: int
+    #: Explicit target node; plurality node of the constituents if None.
+    node: Optional[NodeId] = None
+
+    def targets(self) -> Tuple[Target, ...]:
+        from repro.vm.address_space import BACKING_ID_2M_OFFSET
+
+        return (("page", self.chunk + BACKING_ID_2M_OFFSET),)
+
+    def payload(self) -> dict:
+        return {"kind": "Collapse2M", "chunk": self.chunk, "node": self.node}
+
+
+@dataclass(frozen=True)
+class ToggleThpAlloc(Decision):
+    """Enable or disable THP allocation-time backing."""
+
+    enabled: bool
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("thp", "alloc"),)
+
+    def payload(self) -> dict:
+        return {"kind": "ToggleThpAlloc", "enabled": self.enabled}
+
+
+@dataclass(frozen=True)
+class ToggleThpPromotion(Decision):
+    """Enable or disable khugepaged promotion."""
+
+    enabled: bool
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("thp", "promotion"),)
+
+    def payload(self) -> dict:
+        return {"kind": "ToggleThpPromotion", "enabled": self.enabled}
+
+
+@dataclass(frozen=True)
+class ClearCollapseBlocks(Decision):
+    """Lift every MADV_NOHUGEPAGE mark left by earlier splits."""
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("thp", "collapse_blocks"),)
+
+    def payload(self) -> dict:
+        return {"kind": "ClearCollapseBlocks"}
+
+
+@dataclass(frozen=True)
+class ReplicatePage(Decision):
+    """Replicate one read-mostly backing page onto every node."""
+
+    page_id: int
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        return {"kind": "ReplicatePage", "page_id": self.page_id}
+
+
+@dataclass(frozen=True)
+class ReplicatePageTables(Decision):
+    """Replicate the process page tables onto every node (Mitosis)."""
+
+    def targets(self) -> Tuple[Target, ...]:
+        return (("pt", "replication"),)
+
+    def payload(self) -> dict:
+        return {"kind": "ReplicatePageTables"}
+
+
+@dataclass(frozen=True, eq=False)
+class MergeSummary(Decision):
+    """Legacy bridge: fold a pre-built action summary into the interval.
+
+    Yielded by the base :meth:`PlacementPolicy.decide` for policies that
+    still implement ``on_interval`` directly (external subclasses); the
+    in-tree policies all emit fine-grained decisions instead.
+    """
+
+    summary: "PolicyActionSummary"
+
+    def payload(self) -> dict:
+        s = self.summary
+        return {
+            "kind": "MergeSummary",
+            "migrated_4k": s.migrated_4k,
+            "migrated_2m": s.migrated_2m,
+            "bytes_migrated": s.bytes_migrated,
+            "splits_2m": s.splits_2m,
+            "splits_1g": s.splits_1g,
+            "collapses_2m": s.collapses_2m,
+            "replicated_pages": s.replicated_pages,
+            "bytes_replicated": s.bytes_replicated,
+            "compute_s": s.compute_s,
+            "n_notes": len(s.notes),
+        }

@@ -11,26 +11,52 @@ times, so performance ratios between policies come out directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro._util import rng_for
-from repro.units import Pages4K
+from repro.units import Bytes, NodeId, Pages4K
 from repro.analysis.invariants import InvariantChecker, invariants_enabled
 from repro.errors import SimulationError
 from repro.hardware.counters import CounterBank, EpochCounters
-from repro.hardware.ibs import IbsEngine
+from repro.hardware.ibs import IbsEngine, IbsSamples
 from repro.hardware.tlb import TlbEpochResult, TlbModel
 from repro.hardware.topology import NumaTopology
 from repro.sim.config import SimConfig
+from repro.sim.decisions import (
+    ChargeCompute,
+    ClearCollapseBlocks,
+    Collapse2M,
+    Decision,
+    InterleaveRegion,
+    MergeSummary,
+    MigratePage,
+    Note,
+    Outcome,
+    ReplicatePage,
+    ReplicatePageTables,
+    Split1G,
+    Split2M,
+    ToggleThpAlloc,
+    ToggleThpPromotion,
+)
 from repro.sim.policy import PlacementPolicy, PolicyActionSummary
 from repro.sim.profile import PhaseTimer, profile_enabled
 from repro.sim.results import SimulationResult
+from repro.sim.trace import DecisionTrace, trace_enabled
 from repro.sim.tracker import AccessTracker
-from repro.vm.address_space import AddressSpace
+from repro.vm.address_space import AddressSpace, split_backing_page
 from repro.vm.frame_allocator import PhysicalMemory
-from repro.vm.layout import GRANULES_PER_1G, PageSize, SHIFT_1G, SHIFT_2M
+from repro.vm.layout import (
+    GRANULES_PER_1G,
+    PAGE_2M,
+    PAGE_4K,
+    PageSize,
+    SHIFT_1G,
+    SHIFT_2M,
+)
 from repro.vm.thp import ThpState, khugepaged_scan
 from repro.workloads.base import Workload, WorkloadInstance
 
@@ -39,6 +65,31 @@ from repro.workloads.base import Workload, WorkloadInstance
 #: the sanctioned ``rng_for`` site or an explicitly suppressed
 #: observability read (the profiler's ``# lint: ignore[R002]`` lines).
 _SIM_ENTRY_POINTS = ("Simulation.run",)
+
+
+@dataclass
+class PageTableState:
+    """Where the page tables live, and whether they are replicated.
+
+    Linux allocates page-table pages on the node of the faulting thread;
+    with one multi-threaded process they concentrate on the node that
+    faulted first, so threads elsewhere pay interconnect hops on every
+    level of a TLB-miss walk (the effect Mitosis measures).  The engine
+    models this only when a policy opts in by setting
+    :attr:`numa_enabled`; the default state prices walks exactly as
+    before, keeping every non-replication config bit-identical.
+    """
+
+    #: Node holding the (master) page tables.
+    home_node: NodeId = 0
+    #: Model remote page-table walks at all (policy opt-in).
+    numa_enabled: bool = False
+    #: Replicas exist on every node; walks are always local.
+    replicated: bool = False
+    #: Bytes charged for the replicas when replication happened.
+    replica_bytes: Bytes = 0
+    #: Radix-walk depth: levels touched per full TLB-miss walk.
+    walk_levels: int = 4
 
 
 class Simulation:
@@ -93,6 +144,22 @@ class Simulation:
             InvariantChecker(self) if invariants_enabled(self.config) else None
         )
         self.profiler = PhaseTimer() if profile_enabled(self.config) else None
+        self.page_tables = PageTableState(
+            home_node=int(self.thread_nodes[0]) if self.n_threads else 0
+        )
+        self.executor = ActionExecutor(self)
+        self.tracer = (
+            DecisionTrace(
+                {
+                    "workload": self.instance.name,
+                    "machine": machine.name,
+                    "policy": policy.name,
+                    "seed": self.config.seed,
+                }
+            )
+            if trace_enabled(self.config)
+            else None
+        )
         # Version-keyed caches over the backing state: backing fractions
         # by (lo, hi) range and per-thread TLB epoch results by group
         # list, both valid while ``asp.version`` is unchanged.  Only
@@ -111,6 +178,8 @@ class Simulation:
         for epoch in range(total_epochs):
             self.epoch = epoch
             self._run_epoch(epoch)
+        if self.tracer is not None:
+            self.tracer.flush_env()
         return SimulationResult(
             workload=self.instance.name,
             machine=self.machine.name,
@@ -351,7 +420,7 @@ class Simulation:
         ):
             samples = self.ibs.drain()
             window = self.bank.window(self._last_policy_epoch)
-            summary = self.policy.on_interval(self, samples, window)
+            summary = self.executor.run_interval(self.policy, samples, window)
             self._last_policy_epoch = epoch + 1
             migration_model = self.models.migration
             action_cost = (
@@ -446,6 +515,9 @@ class Simulation:
                 cost.mem_accesses,
             )
             walk_time[t] = tlb_result.walk_cycles / freq
+            penalty = self._remote_walk_penalty_s(t, tlb_result.misses)
+            if penalty:
+                walk_time[t] += penalty
             tlb_misses[t] = tlb_result.misses
             walk_l2[t] = tlb_result.walk_l2_misses
         return faults_4k, faults_2m
@@ -487,8 +559,37 @@ class Simulation:
                 )
                 self._tlb_memo[t] = (groups, tlb_result)
             walk_time[t] = tlb_result.walk_cycles / freq
+            penalty = self._remote_walk_penalty_s(t, tlb_result.misses)
+            if penalty:
+                walk_time[t] += penalty
             tlb_misses[t] = tlb_result.misses
             walk_l2[t] = tlb_result.walk_l2_misses
+
+    def _remote_walk_penalty_s(self, t: int, misses: float) -> float:
+        """Extra walk seconds when thread ``t`` walks remote page tables.
+
+        Every TLB-miss walk touches :attr:`PageTableState.walk_levels`
+        page-table entries; when the tables live on another node each
+        touch pays that node pair's interconnect hops (the remote
+        page-table cost Mitosis replicates tables to remove).  Zero
+        unless a policy enabled page-table NUMA modelling, and zero
+        again once the tables are replicated.
+        """
+        pt = self.page_tables
+        if not pt.numa_enabled or pt.replicated:
+            return 0.0
+        hops = float(
+            self.machine.hop_matrix[int(self.thread_nodes[t]), pt.home_node]
+        )
+        if hops <= 0.0:
+            return 0.0
+        cycles = (
+            misses
+            * hops
+            * self.models.interconnect.hop_latency_cycles
+            * pt.walk_levels
+        )
+        return cycles / self.machine.cpu_freq_hz
 
     # ------------------------------------------------------------------
     # TLB group classification against current backing state
@@ -568,3 +669,226 @@ class Simulation:
             for size, (counts, weights, runs) in per_class.items()
             if counts
         }
+
+
+class ActionExecutor:
+    """The single mutation point of the policy layer.
+
+    Policies yield typed :mod:`repro.sim.decisions`; the executor
+    applies each one against the simulation state the moment it is
+    yielded, accounts the work in a :class:`PolicyActionSummary` (priced
+    by the engine next epoch), and ``send()``s the resulting
+    :class:`Outcome` back into the decider generator — so a decider
+    observes exactly the state its earlier decisions produced, as the
+    old self-mutating policies did.
+
+    With a multi-decider stack, conflicting decisions are resolved
+    deterministically: the first decider whose decision on a target
+    (page / THP toggle / page tables) is *applied* owns that target for
+    the interval, and later deciders' decisions on it are skipped.  A
+    single decider never consults claims, so its behaviour is untouched
+    by composition support.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.decisions_seen = 0
+        self.decisions_applied = 0
+        self.decisions_skipped = 0
+        #: Lifetime action totals; the invariant checker reconciles this
+        #: against the sum of the engine's per-interval action log.
+        self.totals = PolicyActionSummary()
+
+    # ------------------------------------------------------------------
+    # Interval driving
+    # ------------------------------------------------------------------
+    def run_interval(
+        self, policy: PlacementPolicy, samples: IbsSamples, window: CounterBank
+    ) -> PolicyActionSummary:
+        """Run every decider of ``policy`` once; return the summary."""
+        summary = PolicyActionSummary()
+        deciders = policy.deciders()
+        claimed: Optional[Dict[Tuple[str, Any], int]] = (
+            {} if len(deciders) > 1 else None
+        )
+        for index, decider in enumerate(deciders):
+            self.drive(
+                decider.decide(self.sim, samples, window),
+                summary,
+                claimed=claimed,
+                index=index,
+                source=decider.name,
+            )
+        self.totals.merge(summary)
+        return summary
+
+    def drive(
+        self,
+        gen: Iterator[Decision],
+        summary: PolicyActionSummary,
+        claimed: Optional[Dict[Tuple[str, Any], int]] = None,
+        index: int = 0,
+        source: str = "decider",
+    ) -> Any:
+        """Drive one decider generator to completion.
+
+        Returns the generator's return value (component decision
+        dataclasses use it to report what they observed).
+        """
+        try:
+            decision = next(gen)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            outcome = self._apply(decision, summary, claimed, index, source)
+            try:
+                decision = gen.send(outcome)
+            except StopIteration as stop:
+                return stop.value
+
+    def _apply(
+        self,
+        decision: Decision,
+        summary: PolicyActionSummary,
+        claimed: Optional[Dict[Tuple[str, Any], int]],
+        index: int,
+        source: str,
+    ) -> Outcome:
+        self.decisions_seen += 1
+        targets = decision.targets()
+        if claimed is not None and any(
+            claimed.get(tgt, index) != index for tgt in targets
+        ):
+            outcome = Outcome(applied=False, reason="conflict")
+            self.decisions_skipped += 1
+        else:
+            outcome = self._execute(decision, summary)
+            if outcome.applied:
+                self.decisions_applied += 1
+                if claimed is not None:
+                    for tgt in targets:
+                        claimed.setdefault(tgt, index)
+            else:
+                self.decisions_skipped += 1
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.record(
+                self.sim.sim_time_s, self.sim.epoch, source, decision, outcome
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Decision dispatch
+    # ------------------------------------------------------------------
+    def _execute(
+        self, decision: Decision, summary: PolicyActionSummary
+    ) -> Outcome:
+        sim = self.sim
+        if isinstance(decision, ChargeCompute):
+            summary.compute_s += decision.seconds
+            return Outcome(applied=True)
+        if isinstance(decision, Note):
+            summary.add_note(decision.text)
+            return Outcome(applied=True)
+        if isinstance(decision, MigratePage):
+            moved = sim.asp.migrate_backing(decision.page_id, decision.target_node)
+            if moved == 0:
+                return Outcome(applied=False, reason="not moved")
+            summary.bytes_migrated += moved
+            if moved == PAGE_4K:
+                summary.migrated_4k += 1
+            elif moved == PAGE_2M:
+                summary.migrated_2m += 1
+            return Outcome(applied=True, bytes_moved=moved, count=1)
+        if isinstance(decision, InterleaveRegion):
+            moved = sim.asp.migrate_granules(
+                decision.granules, decision.target_nodes
+            )
+            summary.bytes_migrated += moved
+            summary.migrated_4k += moved // PAGE_4K
+            return Outcome(
+                applied=moved > 0,
+                bytes_moved=moved,
+                count=moved // PAGE_4K,
+                reason="" if moved else "nothing moved",
+            )
+        if isinstance(decision, Split2M):
+            n = split_backing_page(sim.asp, decision.page_id, decision.block_collapse)
+            summary.splits_2m += n
+            return Outcome(
+                applied=n > 0, count=n, reason="" if n else "not a large page"
+            )
+        if isinstance(decision, Split1G):
+            n = split_backing_page(sim.asp, decision.page_id, decision.block_collapse)
+            if n:
+                summary.splits_1g += 1
+            return Outcome(
+                applied=n > 0, count=n, reason="" if n else "not a large page"
+            )
+        if isinstance(decision, Collapse2M):
+            ok = sim.asp.collapse_chunk(decision.chunk, decision.node)
+            if ok:
+                summary.collapses_2m += 1
+            return Outcome(
+                applied=ok,
+                count=1 if ok else 0,
+                reason="" if ok else "not collapsible",
+            )
+        if isinstance(decision, ToggleThpAlloc):
+            if decision.enabled:
+                sim.thp.enable_alloc()
+            else:
+                sim.thp.disable_alloc()
+            return Outcome(applied=True)
+        if isinstance(decision, ToggleThpPromotion):
+            if decision.enabled:
+                sim.thp.enable_promotion()
+            else:
+                sim.thp.disable_promotion()
+            return Outcome(applied=True)
+        if isinstance(decision, ClearCollapseBlocks):
+            sim.asp.clear_collapse_blocks()
+            return Outcome(applied=True)
+        if isinstance(decision, ReplicatePage):
+            copied = sim.asp.replicate_backing(decision.page_id)
+            if copied == 0:
+                return Outcome(applied=False, reason="not replicated")
+            summary.bytes_replicated += copied
+            summary.replicated_pages += 1
+            return Outcome(applied=True, bytes_moved=copied, count=1)
+        if isinstance(decision, ReplicatePageTables):
+            pt = sim.page_tables
+            if pt.replicated:
+                return Outcome(applied=False, reason="already replicated")
+            nbytes = sim.asp.page_table_bytes() * (sim.machine.n_nodes - 1)
+            pt.replicated = True
+            pt.replica_bytes = nbytes
+            summary.bytes_replicated += nbytes
+            summary.replicated_pages += nbytes // PAGE_4K
+            return Outcome(
+                applied=True, bytes_moved=nbytes, count=nbytes // PAGE_4K
+            )
+        if isinstance(decision, MergeSummary):
+            summary.merge(decision.summary)
+            return Outcome(applied=True)
+        raise SimulationError(
+            f"unknown decision type {type(decision).__name__}"
+        )
+
+
+def apply_decisions(
+    sim: Any, gen: Iterator[Decision], source: str = "decider"
+) -> Tuple[PolicyActionSummary, Any]:
+    """Drive one decider generator against ``sim`` with a fresh executor.
+
+    Test/tooling helper: ``sim`` may be a full :class:`Simulation` or any
+    object exposing the attributes the executed decisions touch
+    (``asp``, ``thp``, ``page_tables``, ``machine.n_nodes``).  Returns
+    ``(summary, generator_return_value)``.  A fresh executor is used on
+    purpose — drives outside the engine's interval loop must not skew
+    the engine executor's conservation totals.
+    """
+    executor = ActionExecutor(sim)
+    summary = PolicyActionSummary()
+    value = executor.drive(gen, summary, source=source)
+    return summary, value

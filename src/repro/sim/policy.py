@@ -1,20 +1,28 @@
 """Placement-policy interface and the baseline Linux policies.
 
 A policy configures the initial THP state and optionally runs as a
-periodic daemon (Carrefour's 1-second interval), consuming the IBS
-samples and hardware counters gathered since its last invocation and
-mutating the address space (migrate / interleave / split / collapse /
-toggle THP).  The engine charges the time cost of the actions using
-the migration cost model.
+periodic daemon (Carrefour's 1-second interval).  Each daemon interval
+the policy *decides*: :meth:`PlacementPolicy.decide` is a generator
+yielding typed :mod:`repro.sim.decisions` objects (migrate / interleave
+/ split / collapse / toggle THP / replicate), and the engine's
+:class:`~repro.sim.engine.ActionExecutor` applies them against the
+address space, accounts their cost, and sends each decision's
+:class:`~repro.sim.decisions.Outcome` back into the generator.
+Policies therefore never mutate the address space themselves — the
+``core/`` modules are pure-ish deciders, which is what makes decisions
+traceable (:mod:`repro.sim.trace`) and policies composable
+(:class:`PolicyStack`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import ClassVar, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
+from repro.sim.decisions import Decision, MergeSummary
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -23,6 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover
 @dataclass
 class PolicyActionSummary:
     """What a daemon invocation did, for cost accounting and logging."""
+
+    #: Cap on accumulated notes: long runs merge hundreds of interval
+    #: summaries and the numeric fields are what cost accounting needs;
+    #: overflow is recorded in :attr:`notes_dropped` instead of growing
+    #: the list without bound.
+    MAX_NOTES: ClassVar[int] = 64
 
     migrated_4k: int = 0
     migrated_2m: int = 0
@@ -35,6 +49,15 @@ class PolicyActionSummary:
     #: Daemon compute time (sample processing etc.), seconds.
     compute_s: float = 0.0
     notes: List[str] = field(default_factory=list)
+    #: Notes discarded because the list already held MAX_NOTES entries.
+    notes_dropped: int = 0
+
+    def add_note(self, text: str) -> None:
+        """Append a note, counting instead of growing past the cap."""
+        if len(self.notes) < self.MAX_NOTES:
+            self.notes.append(text)
+        else:
+            self.notes_dropped += 1
 
     def merge(self, other: "PolicyActionSummary") -> None:
         """Accumulate another summary into this one."""
@@ -47,14 +70,21 @@ class PolicyActionSummary:
         self.replicated_pages += other.replicated_pages
         self.bytes_replicated += other.bytes_replicated
         self.compute_s += other.compute_s
-        self.notes.extend(other.notes)
+        self.notes_dropped += other.notes_dropped
+        room = self.MAX_NOTES - len(self.notes)
+        if room >= len(other.notes):
+            self.notes.extend(other.notes)
+        else:
+            if room > 0:
+                self.notes.extend(other.notes[:room])
+            self.notes_dropped += len(other.notes) - max(room, 0)
 
 
 class PlacementPolicy:
     """Base policy: no daemon, THP fully on or off.
 
     Subclasses override :meth:`setup` to configure initial state and
-    :meth:`on_interval` to act on monitoring data.
+    :meth:`decide` to emit decisions from monitoring data.
     """
 
     #: Human-readable policy name (used in reports).
@@ -72,8 +102,27 @@ class PlacementPolicy:
     def on_interval(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
     ) -> PolicyActionSummary:
-        """One daemon invocation; returns the actions performed."""
+        """Legacy daemon hook; superseded by :meth:`decide`.
+
+        Kept for external subclasses: the default :meth:`decide` bridges
+        whatever this returns into the executor via ``MergeSummary``.
+        """
         return PolicyActionSummary()
+
+    def decide(
+        self, sim: "Simulation", samples: IbsSamples, window: CounterBank
+    ) -> Iterator[Decision]:
+        """One daemon invocation: yield decisions for the executor.
+
+        The executor ``send()``s an :class:`~repro.sim.decisions.Outcome`
+        back for every yielded decision, so deciders can rate-limit on
+        work actually performed.
+        """
+        yield MergeSummary(self.on_interval(sim, samples, window))
+
+    def deciders(self) -> Sequence["PlacementPolicy"]:
+        """The decider sequence the executor runs each interval."""
+        return (self,)
 
     def wants_ibs(self) -> bool:
         """Whether the engine should collect IBS samples for this policy."""
@@ -110,3 +159,43 @@ class LinuxPolicy(PlacementPolicy):
 
     def wants_ibs(self) -> bool:
         return False
+
+
+class PolicyStack(PlacementPolicy):
+    """Several policies composed into one: a stack of deciders.
+
+    Members keep their own private state and decide in order each
+    interval; the executor applies their decisions with deterministic
+    conflict resolution (first decider to act on a page / THP toggle /
+    the page tables wins, later deciders' conflicting decisions are
+    skipped).  Setup runs in member order, so later members' initial
+    state wins where they overlap — compose accordingly.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[PlacementPolicy],
+        name: Optional[str] = None,
+    ) -> None:
+        if not members:
+            raise ConfigurationError("a policy stack needs at least one member")
+        self.members = tuple(members)
+        self.name = name or "+".join(m.name for m in self.members)
+        intervals = [
+            m.interval_s for m in self.members if m.interval_s is not None
+        ]
+        self.interval_s = min(intervals) if intervals else None
+        self.alloc_interleave = any(m.alloc_interleave for m in self.members)
+
+    def setup(self, sim: "Simulation") -> None:
+        for member in self.members:
+            member.setup(sim)
+
+    def deciders(self) -> Sequence[PlacementPolicy]:
+        out: List[PlacementPolicy] = []
+        for member in self.members:
+            out.extend(member.deciders())
+        return tuple(out)
+
+    def wants_ibs(self) -> bool:
+        return any(m.wants_ibs() for m in self.members)

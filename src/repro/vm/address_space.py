@@ -33,6 +33,7 @@ from repro.units import (
     Pages4KArray,
 )
 from repro.vm.layout import (
+    CHUNKS_2M_PER_1G,
     GRANULES_PER_1G,
     GRANULES_PER_2M,
     PAGE_4K,
@@ -720,6 +721,22 @@ class AddressSpace:
         """
         self.collapse_blocked[:] = False
 
+    def page_table_bytes(self) -> Bytes:
+        """Estimated size of the process's live page tables.
+
+        One 4KB PTE page per 2MB chunk holding 4KB entries, plus one
+        PMD page per 1GB region with live PTE pages or 2MB entries;
+        the handful of upper-level pages is noise at these footprints.
+        Used to cost Mitosis-style page-table replication.
+        """
+        pte_chunks = np.flatnonzero(self.mapped_count_2m > 0)
+        huge_chunks = np.flatnonzero(self.huge)
+        pmd_regions = np.union1d(
+            pte_chunks >> (SHIFT_1G - SHIFT_2M),
+            huge_chunks >> (SHIFT_1G - SHIFT_2M),
+        )
+        return (int(pte_chunks.size) + int(pmd_regions.size)) * PAGE_4K
+
     def mapped_bytes(self) -> Bytes:
         """Total mapped bytes at any granularity."""
         small = int(np.count_nonzero(self.node4k >= 0)) * PAGE_4K
@@ -781,3 +798,34 @@ class AddressSpace:
         )
         if expected_replicas != self.replica_bytes:
             raise AssertionError("replica byte counter out of sync")
+
+
+def split_backing_page(
+    address_space: AddressSpace, page_id: int, block_collapse: bool = True
+) -> int:
+    """Split one 2MB or 1GB backing page into 4KB pages.
+
+    Returns the number of 2MB-equivalents split (1 for a 2MB page, 512
+    for a 1GB page) for cost accounting; 0 when the id names a 4KB page.
+
+    With ``block_collapse`` (the default for policy-driven splits) the
+    demoted range is madvised NOHUGEPAGE so khugepaged does not
+    immediately undo the decision; the conservative component clears
+    the marks when it re-enables promotion.
+    """
+    kind = AddressSpace.backing_id_kind(page_id)
+    if kind is PageSize.SIZE_4K:
+        return 0
+    if kind is PageSize.SIZE_2M:
+        chunk = page_id - BACKING_ID_2M_OFFSET
+        address_space.split_chunk(chunk)
+        if block_collapse:
+            address_space.block_collapse(chunk)
+        return 1
+    gchunk = page_id - BACKING_ID_1G_OFFSET
+    address_space.split_gchunk(gchunk)
+    if block_collapse:
+        base = gchunk * CHUNKS_2M_PER_1G
+        for chunk in range(base, base + CHUNKS_2M_PER_1G):
+            address_space.block_collapse(chunk)
+    return 512

@@ -1,0 +1,109 @@
+"""The decision-kernel contract: ``core/`` policies never mutate state.
+
+After the observe -> decide -> act refactor, every policy module under
+``repro/core/`` is a decider: it may read the address space and keep
+private state, but all mutation goes through typed decisions executed
+by :class:`repro.sim.engine.ActionExecutor`.  This test pins that
+boundary syntactically so a future policy can't quietly reach around
+the executor.
+"""
+
+import ast
+import pathlib
+
+import repro.core
+
+CORE_DIR = pathlib.Path(repro.core.__file__).parent
+
+#: AddressSpace/ThpState methods that change simulation state.  Calling
+#: any of these from a core policy module bypasses the executor's
+#: accounting, conflict resolution, and trace.
+MUTATORS = {
+    # AddressSpace
+    "fault_in",
+    "premap_range",
+    "premap_pattern_4k",
+    "premap_pattern_2m",
+    "map_range_1g",
+    "split_chunk",
+    "split_gchunk",
+    "collapse_chunk",
+    "migrate_backing",
+    "migrate_granules",
+    "replicate_backing",
+    "unreplicate_backing",
+    "block_collapse",
+    "clear_collapse_blocks",
+    # split helper (moved to vm/, executor-only)
+    "split_backing_page",
+    # ThpState
+    "enable_alloc",
+    "disable_alloc",
+    "enable_promotion",
+    "disable_promotion",
+}
+
+
+def mutator_calls(path: pathlib.Path):
+    """Mutating calls outside ``setup()``.
+
+    ``setup`` runs once before the simulation starts (initial THP
+    state, like ``LinuxPolicy.setup``); the decision contract covers
+    the daemon path, where every state change must be a yielded
+    decision.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    setup_spans = [
+        (node.lineno, node.end_lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef) and node.name == "setup"
+    ]
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name not in MUTATORS:
+            continue
+        if any(lo <= node.lineno <= hi for lo, hi in setup_spans):
+            continue
+        out.append(f"{path.name}:{node.lineno} calls {name}()")
+    return out
+
+
+def test_core_modules_never_mutate_state():
+    offenders = []
+    for path in sorted(CORE_DIR.glob("*.py")):
+        offenders.extend(mutator_calls(path))
+    assert not offenders, (
+        "core/ policy modules must yield decisions instead of mutating"
+        " simulation state directly:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_mutators_exist_on_their_classes():
+    """Guard the guard: the names we forbid must be real methods, or a
+    rename would silently blunt the purity check."""
+    from repro.vm.address_space import AddressSpace
+    from repro.vm import address_space
+    from repro.vm.thp import ThpState
+
+    for name in MUTATORS - {"split_backing_page"}:
+        assert hasattr(AddressSpace, name) or hasattr(ThpState, name), name
+    assert hasattr(address_space, "split_backing_page")
+
+
+def test_policies_setup_may_touch_thp_but_core_deciders_do_not():
+    """`sim/policy.py` LinuxPolicy.setup legitimately flips THP state;
+    the restriction is specifically about the ``core/`` daemon policies,
+    whose every action must be observable in the decision trace."""
+    import repro.sim.policy as policy_mod
+
+    # The base module is allowed to call ThpState setters in setup().
+    src = pathlib.Path(policy_mod.__file__).read_text(encoding="utf-8")
+    assert "enable_alloc" in src

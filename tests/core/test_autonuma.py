@@ -8,7 +8,7 @@ from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
 from repro.core.autonuma import AutoNumaConfig, AutoNumaPolicy
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulation
+from repro.sim.engine import Simulation, apply_decisions
 from repro.sim.policy import LinuxPolicy
 from repro.vm.address_space import BACKING_ID_2M_OFFSET
 from repro.workloads.base import CostProfile, WorkloadInstance
@@ -62,8 +62,8 @@ class TestTwoStageFilter:
         policy = AutoNumaPolicy()
         region = sim.instance.regions[0]
         window = CounterBank(2, 4)
-        summary = policy.on_interval(
-            sim, samples_for(sim, [region.lo], [1]), window
+        summary, _ = apply_decisions(
+            sim, policy.decide(sim, samples_for(sim, [region.lo], [1]), window)
         )
         assert summary.migrated_2m == 0
 
@@ -75,8 +75,11 @@ class TestTwoStageFilter:
         chunk = region.lo // 512
         target_node = 1 - sim.asp.node_of_backing(BACKING_ID_2M_OFFSET + chunk)
         for _ in range(2):
-            summary = policy.on_interval(
-                sim, samples_for(sim, [region.lo], [target_node]), window
+            summary, _ = apply_decisions(
+                sim,
+                policy.decide(
+                    sim, samples_for(sim, [region.lo], [target_node]), window
+                ),
             )
         assert sim.asp.node_of_backing(BACKING_ID_2M_OFFSET + chunk) == target_node
         assert summary.migrated_2m == 1
@@ -91,8 +94,11 @@ class TestTwoStageFilter:
         moved = 0
         for node in (0, 1, 0, 1):
             # One page, many samples per interval, dominant node flips.
-            summary = policy.on_interval(
-                sim, samples_for(sim, [region.lo] * 4, [node] * 4), window
+            summary, _ = apply_decisions(
+                sim,
+                policy.decide(
+                    sim, samples_for(sim, [region.lo] * 4, [node] * 4), window
+                ),
             )
             moved += summary.migrated_2m
         # Streak resets on every flip: at most the first settle.
@@ -104,16 +110,23 @@ class TestTwoStageFilter:
         policy = AutoNumaPolicy()
         region = sim.instance.regions[0]
         window = CounterBank(2, 4)
-        small = policy.on_interval(sim, samples_for(sim, [region.lo], [0]), window)
-        big = policy.on_interval(
-            sim, samples_for(sim, [region.lo] * 100, [0] * 100), window
+        small, _ = apply_decisions(
+            sim, policy.decide(sim, samples_for(sim, [region.lo], [0]), window)
+        )
+        big, _ = apply_decisions(
+            sim,
+            policy.decide(
+                sim, samples_for(sim, [region.lo] * 100, [0] * 100), window
+            ),
         )
         assert big.compute_s > small.compute_s
 
     def test_empty_samples(self, tiny_topo):
         sim = make_sim(tiny_topo)
         policy = AutoNumaPolicy()
-        summary = policy.on_interval(sim, IbsSamples.empty(), CounterBank(2, 4))
+        summary, _ = apply_decisions(
+            sim, policy.decide(sim, IbsSamples.empty(), CounterBank(2, 4))
+        )
         assert summary.bytes_migrated == 0
 
 

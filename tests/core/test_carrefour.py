@@ -1,20 +1,24 @@
 """Tests for the Carrefour placement engine."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank, EpochCounters
 from repro.hardware.ibs import IbsSamples
-from repro.core.carrefour import (
-    CarrefourConfig,
-    CarrefourEngine,
+from repro.core.carrefour import CarrefourConfig, CarrefourEngine
+from repro.core.metrics import PageSampleTable
+from repro.sim.engine import apply_decisions
+from repro.vm.address_space import (
+    AddressSpace,
+    BACKING_ID_2M_OFFSET,
     split_backing_page,
 )
-from repro.core.metrics import PageSampleTable
-from repro.vm.address_space import AddressSpace, BACKING_ID_2M_OFFSET
 from repro.vm.frame_allocator import PhysicalMemory
 from repro.vm.layout import GRANULES_PER_2M, PAGE_2M
+from repro.vm.thp import ThpState
 
 GIB = 1 << 30
 
@@ -25,6 +29,17 @@ def make_asp(n_chunks=4, n_nodes=2, huge=False):
     if huge:
         asp.premap_pattern_2m(0, np.zeros(n_chunks, dtype=np.int8))
     return asp
+
+
+def place(engine, table, asp, n_nodes):
+    """Drive the engine's placement decider against a bare address space."""
+    host = SimpleNamespace(
+        asp=asp, thp=ThpState(), machine=SimpleNamespace(n_nodes=n_nodes)
+    )
+    summary, _ = apply_decisions(
+        host, engine.decide_placement(table, asp, n_nodes)
+    )
+    return summary
 
 
 def make_table(asp, granules, nodes, n_nodes=2, granularity="backing"):
@@ -89,7 +104,7 @@ class TestPlacement:
         asp = make_asp(huge=True)
         engine = CarrefourEngine()
         table = make_table(asp, [0, 0], [1, 1])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.migrated_2m == 1
         assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
 
@@ -97,11 +112,11 @@ class TestPlacement:
         asp = make_asp(huge=True)
         engine = CarrefourEngine()
         table = make_table(asp, [0, 1], [0, 1])
-        engine.place(table, asp, 2)
+        place(engine, table, asp, 2)
         node_after = asp.node_of_backing(BACKING_ID_2M_OFFSET)
         # A second interval must not re-randomise the interleaved page.
         table2 = make_table(asp, [0, 1], [0, 1])
-        summary2 = engine.place(table2, asp, 2)
+        summary2 = place(engine, table2, asp, 2)
         assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == node_after
         assert summary2.bytes_migrated <= PAGE_2M  # at most settles once
 
@@ -109,14 +124,14 @@ class TestPlacement:
         asp = make_asp(huge=True)
         engine = CarrefourEngine()
         table = make_table(asp, [0], [0])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.bytes_migrated == 0
 
     def test_min_samples_filter(self):
         asp = make_asp(huge=True)
         engine = CarrefourEngine(CarrefourConfig(min_samples_per_page=3))
         table = make_table(asp, [0, 0], [1, 1])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.migrated_2m == 0
 
     def test_migration_budget_respected(self):
@@ -126,7 +141,7 @@ class TestPlacement:
         )
         granules = [0, 0, 512, 512, 1024, 1024]
         table = make_table(asp, granules, [1] * 6)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.migrated_2m == 1
         assert any("budget" in note for note in summary.notes)
 
@@ -137,7 +152,7 @@ class TestPlacement:
         )
         # Chunk 1 has 3 samples, chunk 0 has 2: chunk 1 moves first.
         table = make_table(asp, [0, 0, 512, 512, 512], [1] * 5)
-        engine.place(table, asp, 2)
+        place(engine, table, asp, 2)
         assert asp.node_of_backing(BACKING_ID_2M_OFFSET + 1) == 1
         assert asp.node_of_backing(BACKING_ID_2M_OFFSET) == 0
 
@@ -146,21 +161,21 @@ class TestPlacement:
         engine = CarrefourEngine()
         table = make_table(asp, [0, 0], [1, 1])
         asp.split_chunk(0)  # table id now stale
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.migrated_2m == 0
 
     def test_compute_cost_scales_with_samples(self):
         asp = make_asp(huge=True)
         engine = CarrefourEngine()
-        small = engine.place(make_table(asp, [0], [0]), asp, 2)
-        big = engine.place(make_table(asp, [0] * 100, [0] * 100), asp, 2)
+        small = place(engine, make_table(asp, [0], [0]), asp, 2)
+        big = place(engine, make_table(asp, [0] * 100, [0] * 100), asp, 2)
         assert big.compute_s > small.compute_s
 
     def test_empty_table(self):
         asp = make_asp()
         engine = CarrefourEngine()
         table = make_table(asp, [], [])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.bytes_migrated == 0
 
 

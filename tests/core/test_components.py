@@ -9,8 +9,8 @@ from repro.core.carrefour_lp import CarrefourLpPolicy
 from repro.core.conservative import ConservativeComponent, ConservativeConfig
 from repro.core.reactive import ReactiveComponent, ReactiveConfig
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulation
-from repro.sim.policy import LinuxPolicy, PolicyActionSummary
+from repro.sim.engine import Simulation, apply_decisions
+from repro.sim.policy import LinuxPolicy
 from repro.vm.layout import GRANULES_PER_2M, PageSize
 from repro.workloads.base import CostProfile, WorkloadInstance
 from repro.workloads.regions import SharedRegion
@@ -64,7 +64,7 @@ class TestConservative:
         sim.thp.disable_alloc()
         sim.thp.disable_promotion()
         comp = ConservativeComponent()
-        decision = comp.step(sim, window(2, 4, walk_l2=10.0, data=90.0))
+        _, decision = apply_decisions(sim, comp.decide(sim, window(2, 4, walk_l2=10.0, data=90.0)))
         assert decision.enabled_alloc
         assert decision.enabled_promotion
         assert sim.thp.alloc_enabled
@@ -75,7 +75,7 @@ class TestConservative:
         sim.thp.disable_alloc()
         sim.thp.disable_promotion()
         comp = ConservativeComponent()
-        decision = comp.step(sim, window(2, 4, fault_core_s=0.2))
+        _, decision = apply_decisions(sim, comp.decide(sim, window(2, 4, fault_core_s=0.2)))
         assert decision.enabled_alloc
         assert not decision.enabled_promotion
         assert sim.thp.alloc_enabled
@@ -85,7 +85,7 @@ class TestConservative:
         sim = make_sim(tiny_topo)
         sim.thp.disable_alloc()
         comp = ConservativeComponent()
-        decision = comp.step(sim, window(2, 4, walk_l2=1.0, data=99.0))
+        _, decision = apply_decisions(sim, comp.decide(sim, window(2, 4, walk_l2=1.0, data=99.0)))
         assert not decision.enabled_alloc
         assert not sim.thp.alloc_enabled
 
@@ -93,7 +93,7 @@ class TestConservative:
         sim = make_sim(tiny_topo)
         sim.thp.disable_alloc()
         comp = ConservativeComponent(ConservativeConfig(walk_l2_threshold_pct=0.5))
-        decision = comp.step(sim, window(2, 4, walk_l2=1.0, data=99.0))
+        _, decision = apply_decisions(sim, comp.decide(sim, window(2, 4, walk_l2=1.0, data=99.0)))
         assert decision.enabled_alloc
 
 
@@ -101,7 +101,7 @@ class TestReactive:
     def test_no_samples_is_noop(self, tiny_topo):
         sim = make_sim(tiny_topo)
         comp = ReactiveComponent()
-        decision = comp.step(sim, IbsSamples.empty(), PolicyActionSummary())
+        _, decision = apply_decisions(sim, comp.decide(sim, IbsSamples.empty()))
         assert decision.estimate is None
         assert not decision.split_pages
 
@@ -115,9 +115,10 @@ class TestReactive:
             for rep in range(3):
                 granules += [base + 1, base + 100]
                 nodes += [0, 1]
-        summary = PolicyActionSummary()
         comp = ReactiveComponent()
-        decision = comp.step(sim, samples_for(sim, granules, nodes), summary)
+        summary, decision = apply_decisions(
+            sim, comp.decide(sim, samples_for(sim, granules, nodes))
+        )
         assert decision.split_pages
         assert decision.shared_pages_split > 0
         assert summary.splits_2m > 0
@@ -130,9 +131,10 @@ class TestReactive:
         # One page absorbs most samples from every node: hot.
         granules = [region.lo] * 40 + [region.lo + GRANULES_PER_2M, region.lo + 2 * GRANULES_PER_2M]
         nodes = ([0, 1, 2, 3] * 10) + [0, 0]
-        summary = PolicyActionSummary()
         comp = ReactiveComponent()
-        decision = comp.step(sim, samples_for(sim, granules, nodes), summary)
+        summary, decision = apply_decisions(
+            sim, comp.decide(sim, samples_for(sim, granules, nodes))
+        )
         assert decision.hot_pages_split + decision.shared_pages_split > 0
         # The hot page's granules are spread across nodes afterwards.
         span = np.arange(region.lo, region.lo + GRANULES_PER_2M)
@@ -150,8 +152,8 @@ class TestReactive:
             granules += [base, base + 1]
             nodes += [1, 1]
         comp = ReactiveComponent()
-        decision = comp.step(
-            sim, samples_for(sim, granules, nodes), PolicyActionSummary()
+        _, decision = apply_decisions(
+            sim, comp.decide(sim, samples_for(sim, granules, nodes))
         )
         assert not decision.split_pages
         assert decision.shared_pages_split == 0
@@ -167,9 +169,9 @@ class TestReactive:
                 nodes += [0, 1]
         comp = ReactiveComponent(ReactiveConfig(split_cooldown_intervals=2))
         s = samples_for(sim, granules, nodes)
-        d1 = comp.step(sim, s, PolicyActionSummary())
+        _, d1 = apply_decisions(sim, comp.decide(sim, s))
         assert d1.shared_pages_split > 0
-        d2 = comp.step(sim, samples_for(sim, granules, nodes), PolicyActionSummary())
+        _, d2 = apply_decisions(sim, comp.decide(sim, samples_for(sim, granules, nodes)))
         assert "split cooldown" in d2.notes
 
     def test_misprediction_backoff(self, tiny_topo):
@@ -184,12 +186,12 @@ class TestReactive:
         comp = ReactiveComponent(
             ReactiveConfig(split_cooldown_intervals=1, misprediction_backoff_intervals=3)
         )
-        comp.step(sim, samples_for(sim, granules, nodes), PolicyActionSummary())
+        apply_decisions(sim, comp.decide(sim, samples_for(sim, granules, nodes)))
         # Next interval: same (unimproved) LAR -> validation fails.
-        d2 = comp.step(sim, samples_for(sim, granules, nodes), PolicyActionSummary())
+        _, d2 = apply_decisions(sim, comp.decide(sim, samples_for(sim, granules, nodes)))
         assert any("misprediction" in note for note in d2.notes)
         assert not comp.split_pages
-        d3 = comp.step(sim, samples_for(sim, granules, nodes), PolicyActionSummary())
+        _, d3 = apply_decisions(sim, comp.decide(sim, samples_for(sim, granules, nodes)))
         assert "split backoff" in d3.notes
 
 
@@ -213,7 +215,7 @@ class TestCarrefourLp:
         sim = make_sim(tiny_topo)
         policy = CarrefourLpPolicy()
         policy.setup(sim)
-        policy.on_interval(sim, IbsSamples.empty(), window(2, 4))
+        apply_decisions(sim, policy.decide(sim, IbsSamples.empty(), window(2, 4)))
         assert len(policy.interval_log) == 1
         log = policy.interval_log[0]
         assert log.conservative is not None
@@ -224,6 +226,8 @@ class TestCarrefourLp:
         policy = CarrefourLpPolicy()
         policy.setup(sim)
         # Healthy window (high LAR via empty traffic -> LAR 100, low maptu).
-        summary = policy.on_interval(sim, IbsSamples.empty(), window(2, 4, data=0.0))
+        summary, _ = apply_decisions(
+            sim, policy.decide(sim, IbsSamples.empty(), window(2, 4, data=0.0))
+        )
         assert not policy.interval_log[-1].carrefour_engaged
         assert any("disabled" in note for note in summary.notes)

@@ -3,12 +3,15 @@
 import numpy as np
 import pytest
 
+from types import SimpleNamespace
+
 from repro.hardware.ibs import IbsSamples
 from repro.core.carrefour import CarrefourConfig, CarrefourEngine
 from repro.core.metrics import PageSampleTable
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulation
+from repro.sim.engine import Simulation, apply_decisions
 from repro.sim.policy import LinuxPolicy
+from repro.vm.thp import ThpState
 from repro.vm.address_space import AddressSpace, BACKING_ID_2M_OFFSET
 from repro.vm.frame_allocator import PhysicalMemory
 from repro.vm.layout import GRANULES_PER_2M
@@ -24,6 +27,16 @@ def make_asp(n_chunks=4, n_nodes=2):
     asp = AddressSpace(n_chunks * GRANULES_PER_2M, phys)
     asp.premap_pattern_2m(0, np.zeros(n_chunks, dtype=np.int8))
     return asp
+
+
+def place(engine, table, asp, n_nodes):
+    host = SimpleNamespace(
+        asp=asp, thp=ThpState(), machine=SimpleNamespace(n_nodes=n_nodes)
+    )
+    summary, _ = apply_decisions(
+        host, engine.decide_placement(table, asp, n_nodes)
+    )
+    return summary
 
 
 def make_table(asp, granules, nodes, writes=None, n_nodes=2):
@@ -48,7 +61,7 @@ class TestReplicationDecision:
         asp = make_asp()
         engine = CarrefourEngine()
         table = make_table(asp, [0, 0, 0, 1, 1, 1], [0, 1, 0, 1, 0, 1])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 1
         assert asp.replicated_2m[0]
 
@@ -57,7 +70,7 @@ class TestReplicationDecision:
         engine = CarrefourEngine()
         writes = [False, False, True, False, False, False]
         table = make_table(asp, [0, 0, 0, 1, 1, 1], [0, 1, 0, 1, 0, 1], writes)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 0
         assert not asp.replicated_2m[0]
 
@@ -65,14 +78,14 @@ class TestReplicationDecision:
         asp = make_asp()
         engine = CarrefourEngine(CarrefourConfig(replication_min_samples=10))
         table = make_table(asp, [0, 0, 1, 1], [0, 1, 0, 1])
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 0
 
     def test_replication_disabled_by_config(self):
         asp = make_asp()
         engine = CarrefourEngine(CarrefourConfig(replication_enabled=False))
         table = make_table(asp, [0] * 6, [0, 1] * 3)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 0
 
     def test_memory_pressure_disables_replication(self):
@@ -86,7 +99,7 @@ class TestReplicationDecision:
             CarrefourConfig(replication_min_free_fraction=0.5)
         )
         table = make_table(asp, [0] * 6, [0, 1] * 3)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 0
 
     def test_replication_counts_against_budget(self):
@@ -103,7 +116,7 @@ class TestReplicationDecision:
         granules = [0] * 6 + [GRANULES_PER_2M] * 6
         nodes = [0, 1] * 6
         table = make_table(asp, granules, nodes)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 1
         assert summary.bytes_replicated == 1 << 21
         assert any("deferred" in n for n in summary.notes)
@@ -115,7 +128,7 @@ class TestReplicationDecision:
         granules = [0] * 6 + [GRANULES_PER_2M] * 6
         nodes = [0, 1] * 6
         table = make_table(asp, granules, nodes)
-        summary = engine.place(table, asp, 2)
+        summary = place(engine, table, asp, 2)
         assert summary.replicated_pages == 2
 
 

@@ -1,0 +1,43 @@
+"""CLI contract for the ``repro policies`` and ``repro trace`` commands."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.configs import POLICIES
+
+
+def test_policies_lists_whole_registry(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    for name in POLICIES:
+        assert name in out
+    assert "compose with '+'" in out
+    assert "(undocumented)" not in out
+
+
+def test_trace_runs_and_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "trace",
+                "Kmeans",
+                "--machine",
+                "A",
+                "--policy",
+                "carrefour-2m",
+                "--quick",
+                "--jsonl",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "decisions recorded" in out
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["trace"]["policy"] == "carrefour-2m"
+    assert len(lines) > 1  # at least one decision record follows
+    record = json.loads(lines[1])
+    assert {"t", "epoch", "source", "decision", "applied"} <= set(record)

@@ -2,10 +2,20 @@
 
 import pytest
 
-from repro.errors import UnknownPolicyError, UnknownWorkloadError
+from repro.errors import (
+    ConfigurationError,
+    UnknownPolicyError,
+    UnknownWorkloadError,
+)
 from repro.core.carrefour import CarrefourPolicy
 from repro.core.carrefour_lp import CarrefourLpPolicy
-from repro.experiments.configs import POLICIES, make_policy
+from repro.core.pt_replication import PtReplicationPolicy
+from repro.experiments.configs import (
+    POLICIES,
+    make_policy,
+    policy_descriptions,
+)
+from repro.sim.policy import PolicyStack
 from repro.experiments.runner import (
     RunSettings,
     clear_cache,
@@ -30,6 +40,8 @@ class TestPolicyRegistry:
             "autonuma-4k",
             "interleave-4k",
             "interleave-thp",
+            "pt-remote",
+            "replication",
         }
 
     def test_lwp_policy_flag(self):
@@ -50,6 +62,19 @@ class TestPolicyRegistry:
         with pytest.raises(UnknownPolicyError):
             make_policy("nope")
 
+    def test_unknown_policy_suggests_closest(self):
+        with pytest.raises(UnknownPolicyError, match="did you mean 'thp'"):
+            make_policy("tph")
+        with pytest.raises(
+            UnknownPolicyError, match="did you mean 'carrefour-lp'"
+        ):
+            make_policy("carrefour_lp")
+
+    def test_unknown_policy_without_close_match_lists_available(self):
+        with pytest.raises(UnknownPolicyError, match="available:") as err:
+            make_policy("zzzzzzzz")
+        assert "did you mean" not in str(err.value)
+
     def test_reactive_only_flags(self):
         policy = make_policy("reactive-only")
         assert policy.reactive is not None
@@ -59,6 +84,56 @@ class TestPolicyRegistry:
         policy = make_policy("conservative-only")
         assert policy.reactive is None
         assert policy.conservative is not None
+
+    def test_replication_factories(self):
+        assert isinstance(make_policy("pt-remote"), PtReplicationPolicy)
+        assert isinstance(make_policy("replication"), PtReplicationPolicy)
+
+
+class TestPolicyComposition:
+    def test_plus_builds_stack(self):
+        policy = make_policy("carrefour-2m+replication")
+        assert isinstance(policy, PolicyStack)
+        assert policy.name == "carrefour-2m+replication"
+        assert [m.name for m in policy.members] == [
+            "carrefour-2m",
+            "replication",
+        ]
+
+    def test_members_get_the_seed(self):
+        policy = make_policy("carrefour-2m+replication", seed=7)
+        assert isinstance(policy.members[0], CarrefourPolicy)
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty member"):
+            make_policy("thp++replication")
+        with pytest.raises(ConfigurationError, match="empty member"):
+            make_policy("thp+")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate member"):
+            make_policy("thp+thp")
+
+    def test_unknown_member_names_the_culprit(self):
+        with pytest.raises(UnknownPolicyError, match="replicatio"):
+            make_policy("thp+replicatio")
+
+    def test_stack_wants_ibs_if_any_member_does(self):
+        assert make_policy("carrefour-2m+replication").wants_ibs()
+        assert not make_policy("thp+replication").wants_ibs()
+
+
+class TestPolicyDescriptions:
+    def test_every_policy_documented(self):
+        descriptions = policy_descriptions()
+        assert set(descriptions) == set(POLICIES)
+        for name, text in descriptions.items():
+            assert text and text != "(undocumented)", name
+
+    def test_descriptions_reference_the_paper_labels(self):
+        descriptions = policy_descriptions()
+        assert "Linux" in descriptions["linux-4k"]
+        assert "Mitosis" in descriptions["replication"]
 
 
 class TestRunner:

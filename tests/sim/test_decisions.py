@@ -1,0 +1,333 @@
+"""Unit tests for the decision kernel: executor, conflicts, composition."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.counters import CounterBank
+from repro.hardware.ibs import IbsSamples
+from repro.sim.decisions import (
+    ChargeCompute,
+    MergeSummary,
+    MigratePage,
+    Note,
+    Outcome,
+    ReplicatePageTables,
+    Split2M,
+    ToggleThpAlloc,
+)
+from repro.sim.engine import ActionExecutor, PageTableState, apply_decisions
+from repro.sim.policy import PlacementPolicy, PolicyActionSummary, PolicyStack
+from repro.vm.address_space import AddressSpace, BACKING_ID_2M_OFFSET
+from repro.vm.frame_allocator import PhysicalMemory
+from repro.vm.layout import GRANULES_PER_2M, PAGE_2M, PAGE_4K
+from repro.vm.thp import ThpState
+
+GIB = 1 << 30
+
+
+def make_host(n_chunks=4, n_nodes=2, huge=True):
+    """A minimal simulation stand-in the executor can mutate."""
+    phys = PhysicalMemory([GIB] * n_nodes)
+    asp = AddressSpace(n_chunks * GRANULES_PER_2M, phys)
+    if huge:
+        asp.premap_pattern_2m(0, np.zeros(n_chunks, dtype=np.int8))
+    return SimpleNamespace(
+        asp=asp,
+        thp=ThpState(),
+        page_tables=PageTableState(),
+        machine=SimpleNamespace(n_nodes=n_nodes),
+    )
+
+
+def gen_of(*decisions):
+    """A decider generator yielding a fixed decision sequence."""
+
+    def _gen():
+        for decision in decisions:
+            yield decision
+
+    return _gen()
+
+
+class FakeDecider(PlacementPolicy):
+    """Scripted decider: yields its decisions, records the outcomes."""
+
+    def __init__(self, name, decisions):
+        self.name = name
+        self.decisions = decisions
+        self.outcomes = []
+
+    def decide(self, sim, samples, window):
+        for decision in self.decisions:
+            outcome = yield decision
+            self.outcomes.append(outcome)
+
+
+def run_stack(host, *deciders):
+    stack = PolicyStack(deciders)
+    executor = ActionExecutor(host)
+    summary = executor.run_interval(
+        stack, IbsSamples.empty(), CounterBank(host.machine.n_nodes, 4)
+    )
+    return executor, summary
+
+
+class TestExecutorApply:
+    def test_charge_compute_accumulates(self):
+        host = make_host()
+        summary, _ = apply_decisions(
+            host, gen_of(ChargeCompute(0.25), ChargeCompute(0.5))
+        )
+        assert summary.compute_s == pytest.approx(0.75)
+
+    def test_migrate_page_applied(self):
+        host = make_host()
+        summary, _ = apply_decisions(
+            host, gen_of(MigratePage(BACKING_ID_2M_OFFSET, 1))
+        )
+        assert summary.migrated_2m == 1
+        assert summary.bytes_migrated == PAGE_2M
+        assert host.asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+
+    def test_migrate_noop_not_applied(self):
+        host = make_host()
+        executor = ActionExecutor(host)
+        summary = PolicyActionSummary()
+        # Already on node 0: nothing moves, decision is a skip.
+        executor.drive(
+            gen_of(MigratePage(BACKING_ID_2M_OFFSET, 0)), summary
+        )
+        assert executor.decisions_skipped == 1
+        assert summary.bytes_migrated == 0
+
+    def test_split_counts(self):
+        host = make_host()
+        summary, _ = apply_decisions(
+            host, gen_of(Split2M(BACKING_ID_2M_OFFSET))
+        )
+        assert summary.splits_2m == 1
+        assert not host.asp.huge[0]
+
+    def test_thp_toggle(self):
+        host = make_host()
+        host.thp.enable_alloc()
+        apply_decisions(host, gen_of(ToggleThpAlloc(False)))
+        assert not host.thp.alloc_enabled
+
+    def test_replicate_page_tables_once(self):
+        host = make_host()
+        host.page_tables.numa_enabled = True
+        executor = ActionExecutor(host)
+        summary = PolicyActionSummary()
+        executor.drive(
+            gen_of(ReplicatePageTables(), ReplicatePageTables()), summary
+        )
+        assert host.page_tables.replicated
+        # n_nodes - 1 = 1 replica of the live page-table bytes.
+        assert summary.bytes_replicated == host.asp.page_table_bytes()
+        assert summary.replicated_pages == summary.bytes_replicated // PAGE_4K
+        assert executor.decisions_applied == 1
+        assert executor.decisions_skipped == 1
+
+    def test_outcome_feedback_reaches_decider(self):
+        host = make_host()
+        decider = FakeDecider(
+            "fb",
+            [
+                MigratePage(BACKING_ID_2M_OFFSET, 1),  # moves
+                MigratePage(BACKING_ID_2M_OFFSET, 1),  # already there
+            ],
+        )
+        executor = ActionExecutor(host)
+        executor.drive(
+            decider.decide(host, IbsSamples.empty(), None),
+            PolicyActionSummary(),
+        )
+        first, second = decider.outcomes
+        assert first.applied and first.bytes_moved == PAGE_2M
+        assert not second.applied
+
+    def test_conservation_counters(self):
+        host = make_host()
+        executor = ActionExecutor(host)
+        summary = PolicyActionSummary()
+        executor.drive(
+            gen_of(
+                ChargeCompute(0.1),
+                MigratePage(BACKING_ID_2M_OFFSET, 1),
+                MigratePage(BACKING_ID_2M_OFFSET, 1),  # no-op: skip
+            ),
+            summary,
+        )
+        assert executor.decisions_seen == 3
+        assert (
+            executor.decisions_seen
+            == executor.decisions_applied + executor.decisions_skipped
+        )
+
+
+class TestConflictResolution:
+    def test_first_decider_wins_page(self):
+        host = make_host()
+        a = FakeDecider("a", [MigratePage(BACKING_ID_2M_OFFSET, 1)])
+        b = FakeDecider("b", [MigratePage(BACKING_ID_2M_OFFSET, 0)])
+        run_stack(host, a, b)
+        # b's migration back to node 0 was skipped as a conflict.
+        assert host.asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+        assert b.outcomes[0].reason == "conflict"
+
+    def test_same_decider_may_touch_target_twice(self):
+        host = make_host()
+        a = FakeDecider(
+            "a",
+            [
+                MigratePage(BACKING_ID_2M_OFFSET, 1),
+                MigratePage(BACKING_ID_2M_OFFSET, 0),
+            ],
+        )
+        b = FakeDecider("b", [ChargeCompute(0.0)])
+        run_stack(host, a, b)
+        assert a.outcomes[0].applied and a.outcomes[1].applied
+        assert host.asp.node_of_backing(BACKING_ID_2M_OFFSET) == 0
+
+    def test_unapplied_decision_does_not_claim(self):
+        host = make_host()
+        # a's migrate is a no-op (page already local) so it must not
+        # claim the page against b.
+        a = FakeDecider("a", [MigratePage(BACKING_ID_2M_OFFSET, 0)])
+        b = FakeDecider("b", [MigratePage(BACKING_ID_2M_OFFSET, 1)])
+        run_stack(host, a, b)
+        assert not a.outcomes[0].applied
+        assert b.outcomes[0].applied
+        assert host.asp.node_of_backing(BACKING_ID_2M_OFFSET) == 1
+
+    def test_thp_toggle_is_a_shared_target(self):
+        host = make_host()
+        a = FakeDecider("a", [ToggleThpAlloc(False)])
+        b = FakeDecider("b", [ToggleThpAlloc(True)])
+        run_stack(host, a, b)
+        assert not host.thp.alloc_enabled
+        assert b.outcomes[0].reason == "conflict"
+
+    def test_distinct_pages_no_conflict(self):
+        host = make_host()
+        a = FakeDecider("a", [MigratePage(BACKING_ID_2M_OFFSET, 1)])
+        b = FakeDecider("b", [MigratePage(BACKING_ID_2M_OFFSET + 1, 1)])
+        run_stack(host, a, b)
+        assert a.outcomes[0].applied and b.outcomes[0].applied
+
+    def test_single_decider_never_conflicts_with_itself(self):
+        host = make_host()
+        a = FakeDecider(
+            "a",
+            [
+                MigratePage(BACKING_ID_2M_OFFSET, 1),
+                MigratePage(BACKING_ID_2M_OFFSET, 0),
+            ],
+        )
+        executor = ActionExecutor(host)
+        executor.run_interval(
+            a, IbsSamples.empty(), CounterBank(host.machine.n_nodes, 4)
+        )
+        assert executor.decisions_skipped == 0
+
+
+class TestNotesCap:
+    def test_add_note_caps_and_counts(self):
+        summary = PolicyActionSummary()
+        for i in range(PolicyActionSummary.MAX_NOTES + 5):
+            summary.add_note(f"note {i}")
+        assert len(summary.notes) == PolicyActionSummary.MAX_NOTES
+        assert summary.notes_dropped == 5
+
+    def test_merge_below_cap_keeps_all(self):
+        a = PolicyActionSummary(notes=["x"])
+        b = PolicyActionSummary(notes=["y", "z"])
+        a.merge(b)
+        assert a.notes == ["x", "y", "z"]
+        assert a.notes_dropped == 0
+
+    def test_merge_past_cap_counts_drops(self):
+        a = PolicyActionSummary()
+        a.notes = [f"a{i}" for i in range(PolicyActionSummary.MAX_NOTES - 1)]
+        b = PolicyActionSummary(notes=["b0", "b1", "b2"])
+        a.merge(b)
+        assert len(a.notes) == PolicyActionSummary.MAX_NOTES
+        assert a.notes[-1] == "b0"
+        assert a.notes_dropped == 2
+
+    def test_executor_note_cap(self):
+        host = make_host()
+        notes = [Note(f"n{i}") for i in range(PolicyActionSummary.MAX_NOTES + 3)]
+        summary, _ = apply_decisions(host, gen_of(*notes))
+        assert len(summary.notes) == PolicyActionSummary.MAX_NOTES
+        assert summary.notes_dropped == 3
+
+
+class TestLegacyBridge:
+    def test_on_interval_subclass_still_works(self):
+        class Legacy(PlacementPolicy):
+            name = "legacy"
+
+            def on_interval(self, sim, samples, window):
+                summary = PolicyActionSummary()
+                summary.compute_s = 0.125
+                summary.add_note("legacy ran")
+                return summary
+
+        host = make_host()
+        summary, _ = apply_decisions(
+            host, Legacy().decide(host, IbsSamples.empty(), None)
+        )
+        assert summary.compute_s == 0.125
+        assert summary.notes == ["legacy ran"]
+
+    def test_merge_summary_decision(self):
+        host = make_host()
+        inner = PolicyActionSummary()
+        inner.migrated_2m = 7
+        summary, _ = apply_decisions(host, gen_of(MergeSummary(inner)))
+        assert summary.migrated_2m == 7
+
+
+class TestPolicyStack:
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyStack([])
+
+    def test_name_joins_members(self):
+        a = FakeDecider("a", [])
+        b = FakeDecider("b", [])
+        assert PolicyStack([a, b]).name == "a+b"
+        assert PolicyStack([a, b], name="custom").name == "custom"
+
+    def test_interval_is_min_of_members(self):
+        a = FakeDecider("a", [])
+        b = FakeDecider("b", [])
+        a.interval_s = 2.0
+        b.interval_s = 0.5
+        assert PolicyStack([a, b]).interval_s == 0.5
+
+    def test_daemonless_member_ignored_for_interval(self):
+        a = FakeDecider("a", [])
+        a.interval_s = None
+        b = FakeDecider("b", [])
+        b.interval_s = 3.0
+        assert PolicyStack([a, b]).interval_s == 3.0
+        assert PolicyStack([a], name="a").interval_s is None
+
+    def test_deciders_flatten_nested_stacks(self):
+        a = FakeDecider("a", [])
+        b = FakeDecider("b", [])
+        c = FakeDecider("c", [])
+        outer = PolicyStack([PolicyStack([a, b]), c])
+        assert outer.deciders() == (a, b, c)
+
+    def test_outcome_none_fields_default(self):
+        outcome = Outcome(applied=True)
+        assert outcome.bytes_moved == 0
+        assert outcome.count == 0
+        assert outcome.reason == ""

@@ -88,3 +88,310 @@ def test_engine_deterministic_across_repeats(quick_settings):
     assert a.runtime_s == b.runtime_s
     assert a.epoch_times_s == b.epoch_times_s
     assert a.bank.total("tlb_misses") == b.bank.total("tlb_misses")
+
+
+# --- Full policy matrix: decision-equivalence goldens -----------------
+#
+# One run per registry entry (SSCA.20 on machine A, quick preset,
+# seed 0). The twelve pre-existing policies were captured from the
+# per-policy mutation path *before* the decision-kernel refactor, so
+# any behavioural drift in the decide/execute split shows up as an
+# exact hex or fingerprint mismatch. The two decision-native policies
+# (pt-remote, replication) are pinned from their introduction.
+
+POLICY_MATRIX = {
+    'linux-4k': {
+        'runtime_s': '0x1.676fcccaeadbap+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': '31b53b6ce0d5756d59fcf48bc3168ef516f003342b2d6b1a1f7172a5d3b66901',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'thp': {
+        'runtime_s': '0x1.497f7a8b08110p+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': '973b430e4c04931eefbfcf22bae9111bfaa90b71312c8b9064c0196064e8c07e',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'carrefour-4k': {
+        'runtime_s': '0x1.750034c8237f1p+2',
+        'daemon_time': '0x1.b284dbea08fcbp-1',
+        'fingerprint': '0d8b76998001f5ec3b7c1fff3c5f3597bd92f2764448f901f740ba216c2ff36d',
+        'actions': {
+            'migrated_4k': 71407,
+            'migrated_2m': 0,
+            'bytes_migrated': 292483072,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 292,
+            'bytes_replicated': 3588096,
+            'compute_s': '0x1.566857016e951p-5',
+            'n_notes': 0,
+        },
+    },
+    'carrefour-2m': {
+        'runtime_s': '0x1.2da3adbc75524p+2',
+        'daemon_time': '0x1.23186c00b0df5p-2',
+        'fingerprint': '5d4999d9fb5293c6dc8e8a2f36167797e32f052d7ca33164148c69c9e536e8b4',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 287,
+            'bytes_migrated': 601882624,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x1.566857016e950p-5',
+            'n_notes': 1,
+        },
+    },
+    'carrefour-lp': {
+        'runtime_s': '0x1.4d59258ed953bp+2',
+        'daemon_time': '0x1.3ed6dc859ea88p+0',
+        'fingerprint': 'b876ce4de0799eed202075bfc67a247b19395ceb6292925f52749c85dc5e09f5',
+        'actions': {
+            'migrated_4k': 36205,
+            'migrated_2m': 281,
+            'bytes_migrated': 737595392,
+            'splits_2m': 384,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 266,
+            'bytes_replicated': 3268608,
+            'compute_s': '0x1.e99c7bcc2938dp-4',
+            'n_notes': 1,
+        },
+    },
+    'reactive-only': {
+        'runtime_s': '0x1.713b07970975dp+2',
+        'daemon_time': '0x1.e25b77c3d3c69p-1',
+        'fingerprint': '2b7c55ca1bbeda6ea7a0d1e3cf36242af38cdd4bf046a85055fb7fd3c5130429',
+        'actions': {
+            'migrated_4k': 71126,
+            'migrated_2m': 0,
+            'bytes_migrated': 291332096,
+            'splits_2m': 384,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 299,
+            'bytes_replicated': 3674112,
+            'compute_s': '0x1.ac026cc1ca3a4p-4',
+            'n_notes': 0,
+        },
+    },
+    'conservative-only': {
+        'runtime_s': '0x1.41d5b4eeaba5dp+2',
+        'daemon_time': '0x1.2cd425b1a6fb9p+0',
+        'fingerprint': '72a80982ce2b52fac547c43112a6f7a05a69cb92076b5ad187c844ec81cbb6ad',
+        'actions': {
+            'migrated_4k': 19799,
+            'migrated_2m': 274,
+            'bytes_migrated': 655716352,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 245,
+            'bytes_replicated': 3010560,
+            'compute_s': '0x1.87b06309ba93fp-5',
+            'n_notes': 1,
+        },
+    },
+    'carrefour-lp-lwp': {
+        'runtime_s': '0x1.50591f3108ec9p+2',
+        'daemon_time': '0x1.6264aaefe6794p+0',
+        'fingerprint': 'a656cb7af6990cfeb392a72e5c9dcc1bbb56d4fd41dd7bb99a3dc93a12859669',
+        'actions': {
+            'migrated_4k': 44376,
+            'migrated_2m': 255,
+            'bytes_migrated': 716537856,
+            'splits_2m': 384,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 486,
+            'bytes_replicated': 5971968,
+            'compute_s': '0x1.2dfd694ccab3fp-3',
+            'n_notes': 2,
+        },
+    },
+    'autonuma': {
+        'runtime_s': '0x1.49bcafe1aa87bp+2',
+        'daemon_time': '0x1.8534c97d90632p-2',
+        'fingerprint': '7e1b6b84d12fd90f3f0d87aa486b7a704deeaac72b3bac6ab82493dadfe765ca',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 243,
+            'bytes_migrated': 509607936,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x1.25c44a474beeep-2',
+            'n_notes': 0,
+        },
+    },
+    'autonuma-4k': {
+        'runtime_s': '0x1.6ce1855e7bb62p+2',
+        'daemon_time': '0x1.3957d58afea4ap-2',
+        'fingerprint': '3fb1f441639fb54d95a65d781a61bfda7792ba54f73e19d237cadcec8604d134',
+        'actions': {
+            'migrated_4k': 4873,
+            'migrated_2m': 0,
+            'bytes_migrated': 19959808,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x1.133a548fa44d5p-2',
+            'n_notes': 0,
+        },
+    },
+    'interleave-4k': {
+        'runtime_s': '0x1.767be86fc2badp+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': '8134ce6e733a91898c2974794d47000855f215211752ea207c732eef97d8ec29',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'interleave-thp': {
+        'runtime_s': '0x1.2c77de4df755dp+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': '8526ed2c455ecb9b95ff427564b31b511b37a679449ef0601b77a5cdd2dae9fd',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'pt-remote': {
+        'runtime_s': '0x1.9cc5e7debd40ap+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': '7a7e330e4980a7ca4b2b96259dabf7656cdaeef08c3796bd27671434dfd21a8e',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'replication': {
+        'runtime_s': '0x1.570ddb34ecf81p+2',
+        'daemon_time': '0x1.807408da51ed2p-16',
+        'fingerprint': '105664ec09ce596e1d75fcd962c9fe513b9eb18aa16641f71a95a5f6e7a975a5',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 3,
+            'bytes_replicated': 12288,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+}
+
+MATRIX_WORKLOAD, MATRIX_MACHINE = "SSCA.20", "A"
+
+
+def _observe_actions(result) -> dict:
+    return {
+        "migrated_4k": sum(s.migrated_4k for _, s in result.action_log),
+        "migrated_2m": sum(s.migrated_2m for _, s in result.action_log),
+        "bytes_migrated": sum(
+            s.bytes_migrated for _, s in result.action_log
+        ),
+        "splits_2m": sum(s.splits_2m for _, s in result.action_log),
+        "splits_1g": sum(s.splits_1g for _, s in result.action_log),
+        "collapses_2m": sum(s.collapses_2m for _, s in result.action_log),
+        "replicated_pages": sum(
+            s.replicated_pages for _, s in result.action_log
+        ),
+        "bytes_replicated": sum(
+            s.bytes_replicated for _, s in result.action_log
+        ),
+        "compute_s": float(
+            sum(s.compute_s for _, s in result.action_log)
+        ).hex(),
+        "n_notes": sum(len(s.notes) for _, s in result.action_log),
+    }
+
+
+def test_matrix_covers_whole_registry():
+    from repro.experiments.configs import POLICIES
+
+    assert set(POLICY_MATRIX) == set(POLICIES)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICY_MATRIX))
+def test_policy_matrix_decision_equivalence(policy, quick_settings):
+    golden = POLICY_MATRIX[policy]
+    result = run_benchmark(
+        MATRIX_WORKLOAD, MATRIX_MACHINE, policy, quick_settings
+    )
+    assert result.runtime_s.hex() == golden["runtime_s"]
+    assert (
+        result.bank.total("daemon_time_s").hex() == golden["daemon_time"]
+    )
+    assert _observe_actions(result) == golden["actions"]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICY_MATRIX))
+def test_policy_matrix_fingerprints_pinned(policy, quick_settings):
+    """The persistent-cache key is part of the contract: refactors that
+    accidentally change ``SimConfig`` hashing (e.g. by letting the
+    ``trace`` flag leak into the key) would silently orphan every
+    cached result."""
+    fp = quick_settings.fingerprint(
+        MATRIX_WORKLOAD, f"machine-{MATRIX_MACHINE}", policy, False
+    )
+    assert fp == POLICY_MATRIX[policy]["fingerprint"]
