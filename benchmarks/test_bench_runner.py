@@ -23,8 +23,14 @@ import time
 import pytest
 
 from repro.analysis.invariants import CHECK_ENV
-from repro.experiments.parallel import GridRunner, RunSpec, resolve_jobs
+from repro.experiments.parallel import (
+    GridRunner,
+    RunSpec,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.experiments.runner import clear_cache, execute_run
+from repro.workloads.streambank import clear_stream_banks
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_runner.json"
@@ -39,10 +45,16 @@ BENCH_GRID = [
 ]
 
 
-def _timed_run(settings, jobs: int, cache_dir: pathlib.Path) -> float:
+def _timed_run(
+    settings, jobs: int, cache_dir: pathlib.Path, backend: str = None
+) -> float:
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     clear_cache()
-    grid = GridRunner(settings)
+    # Each timed pass starts with cold stream banks; otherwise the
+    # serial pass would warm them for the parallel pass and inflate
+    # the measured speedup.
+    clear_stream_banks()
+    grid = GridRunner(settings, backend=backend)
     for spec in BENCH_GRID:
         grid.add_spec(spec)
     start = time.perf_counter()
@@ -85,21 +97,28 @@ def _timed_invariant_overhead(settings) -> dict:
 
 def test_bench_runner(settings, repro_jobs, tmp_path):
     old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
-    # resolve_jobs clamps to the actual core count: a "parallel" pass
-    # oversubscribing a small box reports meaningless speedups, so the
-    # bench runs (and records) the *effective* job count, and skips the
-    # parallel pass entirely when only one core is available.
+    # resolve_jobs clamps the process backend to the actual core count
+    # (a "parallel" pass oversubscribing a small box reports
+    # meaningless speedups); the thread backend instead floors at 2, so
+    # even a one-core box measures real in-process overlap (shared
+    # stream banks + GIL-released numpy sections) instead of silently
+    # skipping the parallel pass.
+    backend = resolve_backend()
     jobs_requested = max(2, repro_jobs)
-    jobs = resolve_jobs(jobs_requested)
+    jobs = resolve_jobs(jobs_requested, backend)
     try:
         serial_s = _timed_run(settings, 1, tmp_path / "serial")
-        parallel_s = _timed_run(settings, jobs, tmp_path / "parallel") if jobs > 1 else None
+        parallel_s = (
+            _timed_run(settings, jobs, tmp_path / "parallel", backend)
+            if jobs > 1
+            else None
+        )
         # Warm pass: same cache dir as the parallel pass, memo cleared,
         # so every run is answered from disk.
         clear_cache()
         os.environ["REPRO_CACHE_DIR"] = str(tmp_path / ("parallel" if jobs > 1 else "serial"))
         start = time.perf_counter()
-        grid = GridRunner(settings)
+        grid = GridRunner(settings, backend=backend)
         for spec in BENCH_GRID:
             grid.add_spec(spec)
         warm = grid.run(jobs=jobs)
@@ -118,6 +137,7 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
         "n_runs": len(BENCH_GRID),
         "jobs_requested": jobs_requested,
         "jobs_effective": jobs,
+        "backend": backend,
         "cpu_count": os.cpu_count(),
         "scale": settings.config.scale,
         "serial_wall_s": round(serial_s, 3),

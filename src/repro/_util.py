@@ -24,6 +24,23 @@ def rng_for(*parts: object) -> np.random.Generator:
     return np.random.default_rng(stable_seed(*parts))
 
 
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a captured ``bit_generator.state`` dict.
+
+    The stream-bank machinery memoizes access streams together with the
+    post-generation RNG state of each thread-epoch generator, so later
+    consumers of the same generator (the IBS sampler) draw exactly the
+    values they would have drawn had the stream been generated in-line.
+    The state must originate from a :func:`rng_for` generator; this is
+    a replay mechanism, never a fresh randomness source, which is why
+    it sits next to ``rng_for`` as the only other sanctioned
+    ``np.random`` construction site (lint rule R002/R104).
+    """
+    bit_generator = np.random.PCG64()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
 def as_int_array(values: Iterable[int]) -> np.ndarray:
     """Coerce an iterable of indices to a contiguous int64 array."""
     arr = np.asarray(values, dtype=np.int64)

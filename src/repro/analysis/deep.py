@@ -54,6 +54,7 @@ from repro.analysis.callgraph import (
 )
 from repro.analysis.linter import FileContext, Finding
 from repro.analysis.rules import (
+    SANCTIONED_RNG_FUNCS,
     _WALL_CLOCK_DATE_FUNCS,
     _WALL_CLOCK_TIME_FUNCS,
     _attr_chain,
@@ -204,8 +205,8 @@ class ReachableNondeterminism(DeepRule):
         chains = project.reachable_from(entries)
         for qualname in sorted(chains):
             info = project.functions[qualname]
-            if info.name == "rng_for":
-                continue  # the one sanctioned RNG construction site
+            if info.name in SANCTIONED_RNG_FUNCS:
+                continue  # a sanctioned RNG construction/replay site
             ctx = project.contexts.get(info.module)
             if ctx is None:
                 continue

@@ -191,8 +191,17 @@ class CacheKeyCompleteness(Rule):
                 )
 
 
+#: Functions allowed to construct ``np.random`` machinery directly: the
+#: deterministic derivation site (``rng_for``) and the state-replay
+#: site the stream banks use to resume a captured generator
+#: (``rng_from_state``).  Both live in ``repro._util``; R002 skips call
+#: sites inside them and the deep analyzer's R104 shares this set, so
+#: the two layers always agree on what "sanctioned" means.
+SANCTIONED_RNG_FUNCS = frozenset({"rng_for", "rng_from_state"})
+
+
 class UnseededRandomness(Rule):
-    """R002: randomness outside rng_for; wall-clock reads in sim code."""
+    """R002: randomness outside sanctioned sites; wall-clock in sim code."""
 
     rule_id = "R002"
     title = "unseeded randomness / wall-clock time"
@@ -217,8 +226,8 @@ class UnseededRandomness(Rule):
             chain = _attr_chain(node.func)
             if chain is None:
                 continue
-            if "rng_for" in func_stack:
-                continue  # the one sanctioned construction site
+            if SANCTIONED_RNG_FUNCS.intersection(func_stack):
+                continue  # inside a sanctioned construction site
             if chain.startswith(("np.random.", "numpy.random.")):
                 yield ctx.finding(
                     self.rule_id,

@@ -25,7 +25,7 @@ from typing import List, Optional
 from repro.analysis.linter import format_findings, lint_paths
 from repro.experiments.cache import CACHE_ENABLE_ENV, ResultCache
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.parallel import JOBS_ENV
+from repro.experiments.parallel import BACKEND_ENV, JOBS_ENV
 from repro.experiments.runner import RunSettings, run_benchmark
 from repro.sim.config import SimConfig
 from repro.workloads.registry import available_workloads
@@ -51,6 +51,8 @@ def _apply_execution_flags(args: argparse.Namespace) -> None:
     """
     if getattr(args, "jobs", None) is not None:
         os.environ[JOBS_ENV] = str(args.jobs)
+    if getattr(args, "jobs_backend", None) is not None:
+        os.environ[BACKEND_ENV] = args.jobs_backend
     if getattr(args, "fresh", False):
         os.environ[CACHE_ENABLE_ENV] = "0"
 
@@ -66,6 +68,15 @@ def _add_run_options(cmd: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for independent runs"
         " (default: REPRO_JOBS or cpu_count-1; 1 = serial)",
+    )
+    cmd.add_argument(
+        "--jobs-backend",
+        choices=["thread", "process", "auto"],
+        default=None,
+        metavar="BACKEND",
+        help="parallel executor: 'process' (pool of workers), 'thread'"
+        " (in-process shards that share stream banks; works on 1-core"
+        " boxes), or 'auto' (default: REPRO_JOBS_BACKEND or auto)",
     )
     cmd.add_argument(
         "--fresh",

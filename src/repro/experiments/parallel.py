@@ -7,12 +7,23 @@ experiment batch, deduplicates it (figures share their Linux/THP
 baselines), answers what it can from the two cache layers, and fans
 the misses out over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
+Two backends exist (``REPRO_JOBS_BACKEND`` or the ``backend``
+argument): ``process`` fans misses out over a
+``ProcessPoolExecutor``; ``thread`` shards them over an in-process
+``ThreadPoolExecutor`` — the engine's hot sections (stream-bank
+fetches, vectorized translation, binning) are numpy calls that release
+the GIL, and threaded workers share the process-wide stream banks, so
+a grid's policy pairs overlap even where a process pool cannot be
+built or ``cpu_count == 1``.  The default (``auto``) picks ``process``
+on multi-core boxes and ``thread`` on single-core ones.
+
 Worker count resolution, in priority order: explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable, then
-``os.cpu_count() - 1`` (at least 1).  ``jobs=1`` — and any platform
-where a process pool cannot be built (no ``fork``, sandboxed
-semaphores) — degrades to an in-process serial loop with identical
-results, since every run is deterministic.
+``os.cpu_count() - 1`` (at least 1; at least 2 for the thread
+backend).  ``jobs=1`` — and any platform where a process pool cannot
+be built (no ``fork``, sandboxed semaphores) — degrades to an
+in-process serial loop with identical results, since every run is
+deterministic.
 """
 
 from __future__ import annotations
@@ -28,6 +39,12 @@ from repro.sim.results import SimulationResult
 
 #: Environment variable selecting the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable selecting the executor backend
+#: (``thread`` | ``process`` | ``auto``).
+BACKEND_ENV = "REPRO_JOBS_BACKEND"
+
+_BACKENDS = ("thread", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -45,13 +62,38 @@ class RunSpec:
         return f"{self.workload}@{self.machine}/{self.policy}{suffix}"
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Executor backend: explicit arg > ``REPRO_JOBS_BACKEND`` > auto.
+
+    Returns ``"thread"`` or ``"process"`` (``auto`` resolves to
+    ``process`` on multi-core machines and ``thread`` on single-core
+    ones, where a process pool cannot measure any overlap anyway).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
+    backend = backend.lower()
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown jobs backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    if backend == "auto":
+        backend = "process" if (os.cpu_count() or 1) > 1 else "thread"
+    return backend
+
+
+def resolve_jobs(jobs: Optional[int] = None, backend: Optional[str] = None) -> int:
     """Worker count: explicit arg > ``REPRO_JOBS`` > cpu_count - 1.
 
-    Clamped to ``os.cpu_count()``: simulation workers are CPU-bound, so
-    oversubscribing cores only adds scheduler churn (and benchmark
-    numbers taken that way report meaningless "parallel" speedups).
+    The process backend is clamped to ``os.cpu_count()``: its workers
+    are CPU-bound, so oversubscribing cores only adds scheduler churn
+    (and benchmark numbers taken that way report meaningless
+    "parallel" speedups).  The thread backend instead floors at 2 —
+    its workers overlap in the GIL-released numpy sections and share
+    stream banks, so two-way sharding is productive even on a
+    single-core box (where the process clamp would silently degrade to
+    a serial loop).
     """
+    resolved_backend = resolve_backend(backend)
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if env:
@@ -59,9 +101,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 jobs = int(env)
             except ValueError:
                 jobs = None
+    cpus = os.cpu_count() or 1
+    if resolved_backend == "thread":
+        if jobs is None:
+            jobs = max(2, cpus - 1)
+        return max(1, min(int(jobs), max(2, cpus)))
     if jobs is None:
-        jobs = (os.cpu_count() or 2) - 1
-    return max(1, min(int(jobs), os.cpu_count() or 1))
+        jobs = cpus - 1
+    return max(1, min(int(jobs), cpus))
 
 
 def _pool_execute(
@@ -91,10 +138,14 @@ class GridRunner:
     """
 
     def __init__(
-        self, settings: Optional[RunSettings] = None, jobs: Optional[int] = None
+        self,
+        settings: Optional[RunSettings] = None,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.settings = settings or RunSettings()
         self.jobs = jobs
+        self.backend = backend
         self._specs: List[RunSpec] = []
         self._seen: set = set()
 
@@ -185,6 +236,32 @@ class GridRunner:
             results[spec] = result
         return results
 
+    def _run_threads(
+        self, misses: List[RunSpec], jobs: int
+    ) -> Dict[RunSpec, SimulationResult]:
+        """In-process sharded execution over a thread pool.
+
+        Runs are deterministic and share no mutable state beyond the
+        process-wide memo layers (stream banks, the runner memo), all
+        of which are lock- or GIL-safe; the numpy-heavy engine phases
+        release the GIL, so shards genuinely overlap.  Sharing the
+        process also means two policy runs of the same workload reuse
+        one stream bank instead of generating streams twice.
+        """
+        import concurrent.futures
+
+        results: Dict[RunSpec, SimulationResult] = {}
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(jobs, len(misses))
+        ) as pool:
+            futures = [
+                pool.submit(_pool_execute, spec, self.settings) for spec in misses
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                spec, result = future.result()
+                results[spec] = result
+        return results
+
     def _run_pool(
         self, misses: List[RunSpec], jobs: int
     ) -> Dict[RunSpec, SimulationResult]:
@@ -210,7 +287,10 @@ class GridRunner:
         return results
 
     def run(
-        self, jobs: Optional[int] = None, use_cache: bool = True
+        self,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        backend: Optional[str] = None,
     ) -> Dict[RunSpec, SimulationResult]:
         """Execute the grid; returns ``{spec: result}`` in grid order.
 
@@ -222,10 +302,15 @@ class GridRunner:
             hits, misses = self._partition()
         else:
             hits, misses = {}, list(self._specs)
-        n_jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        backend_name = resolve_backend(
+            backend if backend is not None else self.backend
+        )
+        n_jobs = resolve_jobs(self.jobs if jobs is None else jobs, backend_name)
         if misses:
             if n_jobs <= 1 or len(misses) <= 1:
                 fresh = self._run_serial(misses)
+            elif backend_name == "thread":
+                fresh = self._run_threads(misses, n_jobs)
             else:
                 try:
                     fresh = self._run_pool(misses, n_jobs)
@@ -250,6 +335,7 @@ def prefetch(
     specs: Iterable[RunSpec],
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[RunSpec, SimulationResult]:
     """Warm both cache layers for a batch of runs, in parallel.
 
@@ -258,11 +344,11 @@ def prefetch(
     it is a no-op and the driver's own ``run_benchmark`` calls do the
     work exactly as before.
     """
-    grid = GridRunner(settings, jobs=jobs)
+    grid = GridRunner(settings, jobs=jobs, backend=backend)
     for spec in specs:
         grid.add_spec(spec)
     if not grid.specs:
         return {}
-    if resolve_jobs(jobs if jobs is not None else grid.jobs) <= 1:
+    if resolve_jobs(jobs if jobs is not None else grid.jobs, backend) <= 1:
         return {}
     return grid.run()

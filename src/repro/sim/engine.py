@@ -59,6 +59,7 @@ from repro.vm.layout import (
 )
 from repro.vm.thp import ThpState, khugepaged_scan
 from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.streambank import get_stream_bank, stream_bank_enabled
 
 #: Static-analysis registry (rule R104): roots of the simulation call
 #: graph.  Every random/clock sink reachable from here must be either
@@ -143,6 +144,17 @@ class Simulation:
         self.invariant_checker = (
             InvariantChecker(self) if invariants_enabled(self.config) else None
         )
+        # Streams are policy-independent, so runs sharing (workload,
+        # machine, seed, stream length) share one memoized bank; the
+        # inline path below stays as the REPRO_STREAM_BANK=0 fallback
+        # and is bit-identical by construction.
+        self._stream_bank = (
+            get_stream_bank(
+                self.instance, self.config.seed, self.config.stream_length
+            )
+            if stream_bank_enabled()
+            else None
+        )
         self.profiler = PhaseTimer() if profile_enabled(self.config) else None
         self.page_tables = PageTableState(
             home_node=int(self.thread_nodes[0]) if self.n_threads else 0
@@ -161,12 +173,15 @@ class Simulation:
             else None
         )
         # Version-keyed caches over the backing state: backing fractions
-        # by (lo, hi) range and per-thread TLB epoch results by group
-        # list, both valid while ``asp.version`` is unchanged.  Only
-        # consulted in no-fault epochs (see ``_pass1_tlb``).
+        # by (lo, hi) range, per-thread TLB epoch results by group-list
+        # identity, and TLB epoch results by group-list *value* (threads
+        # with symmetric working sets — most of them — share one model
+        # evaluation).  All valid while ``asp.version`` is unchanged;
+        # only consulted in no-fault epochs (see ``_pass1_tlb``).
         self._backing_version = -1
         self._fraction_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
         self._tlb_memo: Dict[int, Tuple[list, TlbEpochResult]] = {}
+        self._tlb_value_memo: Dict[tuple, TlbEpochResult] = {}
 
     # ------------------------------------------------------------------
     # Main loop
@@ -235,31 +250,44 @@ class Simulation:
         stream_faults_4k = stream_faults_2m = 0.0
         written_replicated: set = set()
         length = cfg.stream_length
-        rngs = [
-            rng_for(
-                cfg.seed, self.instance.seed, self.instance.name, "stream", t, epoch
-            )
-            for t in range(n_threads)
-        ]
+        bank = self._stream_bank
 
         # Pass 1a — per-thread stream generation.  Streams are drawn
         # before any translation (generation never reads the address
         # space), preserving each thread's RNG draw order while letting
-        # the whole epoch translate in one call below.
-        streams = np.zeros((n_threads, length), dtype=np.int64)
-        stream_writes = np.zeros((n_threads, length), dtype=bool)
+        # the whole epoch translate in one call below.  With a stream
+        # bank the draws happen (at most once per shared bank) inside
+        # the bank; the IBS generators are restored from the captured
+        # post-generation states so their later draws are unchanged.
+        if bank is not None:
+            streams, stream_writes, stream_sizes = bank.epoch_arrays(epoch)
+            rngs = bank.ibs_rngs(epoch) if self.ibs.rate > 0 else []
+            if prof is not None:
+                prof.lap("stream_bank")
+        else:
+            rngs = [
+                rng_for(
+                    cfg.seed, self.instance.seed, self.instance.name,
+                    "stream", t, epoch,
+                )
+                for t in range(n_threads)
+            ]
+            streams = np.zeros((n_threads, length), dtype=np.int64)
+            stream_writes = np.zeros((n_threads, length), dtype=bool)
+            stream_sizes = np.zeros(n_threads, dtype=np.int64)
+            for t in range(n_threads):
+                granules, writes = self.instance.epoch_stream_with_writes(
+                    t, epoch, rngs[t], length
+                )
+                n = granules.size
+                if n == 0:
+                    continue
+                stream_sizes[t] = n
+                streams[t, :n] = granules
+                stream_writes[t, :n] = writes
+        # The bank's arrays are shared and read-only; the engine only
+        # ever writes into its own per-epoch translation scratch.
         stream_homes = np.zeros((n_threads, length), dtype=np.int64)
-        stream_sizes = np.zeros(n_threads, dtype=np.int64)
-        for t in range(n_threads):
-            granules, writes = self.instance.epoch_stream_with_writes(
-                t, epoch, rngs[t], length
-            )
-            n = granules.size
-            if n == 0:
-                continue
-            stream_sizes[t] = n
-            streams[t, :n] = granules
-            stream_writes[t, :n] = writes
 
         # Pass 1b — the common epoch has no demand faults: one
         # vectorized translation over every access decides which case we
@@ -267,8 +295,17 @@ class Simulation:
         # would fault and mutate the address space mid-pass, so the
         # epoch falls back to the sequential per-thread path where
         # thread ordering is part of the deterministic contract.
-        valid = np.arange(length)[None, :] < stream_sizes[:, None]
-        flat_granules = streams[valid]
+        # Region workloads always fill exactly ``length`` accesses per
+        # thread, so the boolean ``valid`` mask (and the copying fancy
+        # selections it implies) is only needed for ragged streams
+        # (traces); full streams flatten as views.
+        full = bool((stream_sizes == length).all())
+        if full:
+            valid = None
+            flat_granules = streams.reshape(-1)
+        else:
+            valid = np.arange(length)[None, :] < stream_sizes[:, None]
+            flat_granules = streams[valid]
         flat_homes = self.asp.home_nodes(flat_granules)
         if flat_homes.size and int(flat_homes.min()) < 0:
             stream_faults_4k, stream_faults_2m = self._pass1_faulting(
@@ -291,9 +328,12 @@ class Simulation:
                 # Reads of replicated pages are serviced locally.
                 local = np.repeat(self.thread_nodes, stream_sizes)
                 flat_homes = np.where(rep, local, flat_homes)
-            stream_homes[valid] = flat_homes
-            # Writes to replicated pages collapse the replicas.
-            writes_flat = stream_writes[valid]
+            if full:
+                stream_homes[:] = flat_homes.reshape(n_threads, length)
+                writes_flat = stream_writes.reshape(-1)
+            else:
+                stream_homes[valid] = flat_homes
+                writes_flat = stream_writes[valid]
             if np.any(writes_flat):
                 written = flat_granules[writes_flat]
                 rep_mask = self.asp.replication_mask(written)
@@ -310,9 +350,10 @@ class Simulation:
         # (thread, home node) replaces the per-thread bincounts, and
         # traffic accumulates with a single unbuffered np.add.at (which
         # applies additions in thread order, bit-identical to a loop).
-        flat = (
+        keyed = (
             np.arange(n_threads, dtype=np.int64)[:, None] * n_nodes + stream_homes
-        )[valid]
+        )
+        flat = keyed.reshape(-1) if full else keyed[valid]
         pair_counts = np.bincount(flat, minlength=n_threads * n_nodes).reshape(
             n_threads, n_nodes
         )
@@ -323,16 +364,24 @@ class Simulation:
         np.add.at(traffic, self.thread_nodes, thread_home_counts)
 
         active_idx = np.flatnonzero(active)
-        if self.tracker is not None:
-            for t in active_idx:
-                n = int(stream_sizes[t])
-                # Weight by the thread's actual stream size (matching
-                # the traffic scaling above), not the nominal
-                # stream_length: short streams represent the same DRAM
-                # access budget spread over fewer touches.
-                self.tracker.update(int(t), streams[t, :n], float(scale[t]))
         if prof is not None:
             prof.lap("streams")
+        if self.tracker is not None:
+            # Weight by the thread's actual stream size (matching the
+            # traffic scaling above), not the nominal stream_length:
+            # short streams represent the same DRAM access budget
+            # spread over fewer touches.
+            if bank is not None:
+                for t in active_idx:
+                    unique, counts, _, _ = bank.tracker_columns(epoch, int(t))
+                    self.tracker.add_weights(unique, counts, float(scale[t]))
+                self.tracker.merge_epoch_sharing(*bank.sharing_columns(epoch))
+            else:
+                for t in active_idx:
+                    n = int(stream_sizes[t])
+                    self.tracker.update(int(t), streams[t, :n], float(scale[t]))
+        if prof is not None:
+            prof.lap("tracker")
 
         n_samples = self.ibs.record_epoch_batch(
             active_idx,
@@ -544,19 +593,27 @@ class Simulation:
         if version != self._backing_version:
             self._fraction_cache.clear()
             self._tlb_memo.clear()
+            self._tlb_value_memo.clear()
             self._backing_version = version
         for t in range(self.n_threads):
             if stream_sizes[t] == 0:
                 continue
             groups = self.instance.tlb_groups(t, epoch)
             memo = self._tlb_memo.get(t)
-            if memo is not None and memo[0] == groups:
+            # The instance returns the same list object while a
+            # thread's groups are unchanged, so identity is the cheap
+            # (and sufficient) per-thread staleness test.
+            if memo is not None and memo[0] is groups:
                 tlb_result = memo[1]
             else:
-                tlb_result = self.tlb_model.epoch_result_grouped(
-                    self._classify_tlb_groups(groups, self._fraction_cache),
-                    cost.mem_accesses,
-                )
+                key = tuple(groups)
+                tlb_result = self._tlb_value_memo.get(key)
+                if tlb_result is None:
+                    tlb_result = self.tlb_model.epoch_result_grouped(
+                        self._classify_tlb_groups(groups, self._fraction_cache),
+                        cost.mem_accesses,
+                    )
+                    self._tlb_value_memo[key] = tlb_result
                 self._tlb_memo[t] = (groups, tlb_result)
             walk_time[t] = tlb_result.walk_cycles / freq
             penalty = self._remote_walk_penalty_s(t, tlb_result.misses)

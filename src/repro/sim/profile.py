@@ -8,10 +8,15 @@ goes.  When enabled (``REPRO_PROFILE=1`` in the environment, or
 attributed as:
 
 * ``premap``      — allocation-phase faulting (step 1),
-* ``streams``     — stream generation, translation, demand faulting,
-  traffic binning and access tracking (fault-epoch TLB work is also
-  billed here: the sequential fallback interleaves the two),
+* ``stream_bank`` — stream-bank fetches (generation on a bank miss,
+  array handoff on a hit; only nonzero when banking is enabled),
+* ``streams``     — inline stream generation (bank disabled),
+  translation, demand faulting and traffic binning (fault-epoch TLB
+  work is also billed here: the sequential fallback interleaves the
+  two),
 * ``tlb``         — backing classification + TLB model (no-fault epochs),
+* ``tracker``     — ground-truth access-tracker aggregation (the
+  profiling metrics PAMUP/NHP/PSP, not simulation state),
 * ``ibs``         — IBS sample draws and buffer appends,
 * ``pricing``     — controller queueing + interconnect pricing (step 3),
 * ``maintenance`` — khugepaged, replica collapses, counter banking,
@@ -47,8 +52,10 @@ _RESULT_NEUTRAL = ("sim.profile",)
 #: Engine phases in execution order (``other`` holds the remainder).
 PHASES = (
     "premap",
+    "stream_bank",
     "streams",
     "tlb",
+    "tracker",
     "ibs",
     "pricing",
     "maintenance",

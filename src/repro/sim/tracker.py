@@ -70,6 +70,52 @@ class AccessTracker:
         self._mark(self._first_2m, self._shared_2m, np.unique(unique >> SHIFT_2M), thread)
         self._mark(self._first_1g, self._shared_1g, np.unique(unique >> SHIFT_1G), thread)
 
+    def add_weights(
+        self, unique: np.ndarray, counts: np.ndarray, weight_per_access: float
+    ) -> None:
+        """Accumulate access weight from pre-aggregated stream columns.
+
+        ``unique``/``counts`` are the ``np.unique(granules,
+        return_counts=True)`` of one thread-epoch stream.  The
+        stream-bank path uses this (plus :meth:`merge_epoch_sharing`)
+        so the per-stream aggregation is computed once per shared bank
+        rather than once per run; bit-identical to :meth:`update` on
+        the same stream because the per-thread accumulation order is
+        preserved.
+        """
+        if unique.size == 0:
+            return
+        self.weight[unique] += counts * weight_per_access
+
+    def merge_epoch_sharing(self, cols_4k, cols_2m, cols_1g) -> None:
+        """Fold one epoch's sharing information in, all threads at once.
+
+        Each ``cols_*`` is ``(ids, epoch_first, multi)`` for one page
+        level: the sorted distinct ids touched by any thread this
+        epoch, the lowest thread id touching each, and whether two or
+        more distinct threads touched it (see
+        :meth:`~repro.workloads.streambank.StreamBank.sharing_columns`).
+        Produces exactly the ``first``/``shared`` state that calling
+        :meth:`update` per thread in ascending thread order would: a
+        previously untouched id records the epoch's first toucher (and
+        is shared iff several threads hit it this epoch); a known id
+        becomes shared when the epoch brings any different thread.
+        """
+        for (first, shared), (ids, epoch_first, multi) in zip(
+            (
+                (self._first_4k, self._shared_4k),
+                (self._first_2m, self._shared_2m),
+                (self._first_1g, self._shared_1g),
+            ),
+            (cols_4k, cols_2m, cols_1g),
+        ):
+            if ids.size == 0:
+                continue
+            current = first[ids]
+            fresh = current < 0
+            first[ids[fresh]] = epoch_first[fresh]
+            shared[ids[multi | (~fresh & (current != epoch_first))]] = True
+
     @staticmethod
     def _mark(first: np.ndarray, shared: np.ndarray, ids: np.ndarray, thread: int) -> None:
         current = first[ids]

@@ -25,6 +25,12 @@ from repro.workloads.regions import (
     StreamRegion,
 )
 from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.streambank import (
+    StreamBank,
+    clear_stream_banks,
+    get_stream_bank,
+    stream_bank_enabled,
+)
 from repro.workloads.trace import TraceData, TraceRecorder, TraceWorkloadInstance
 
 __all__ = [
@@ -43,4 +49,8 @@ __all__ = [
     "TraceData",
     "TraceRecorder",
     "TraceWorkloadInstance",
+    "StreamBank",
+    "clear_stream_banks",
+    "get_stream_bank",
+    "stream_bank_enabled",
 ]

@@ -189,6 +189,22 @@ class WorkloadInstance:
         if total_share <= 0:
             raise ConfigurationError("total region access share must be positive")
         self._norm_shares = [r.access_share / total_share for r in self.regions]
+        # Shares are immutable after bind; keep the array form (and the
+        # per-length floor/deficit split derived from it) precomputed so
+        # the per-(thread, epoch) hot path never rebuilds them.
+        self._shares_array = np.asarray(self._norm_shares, dtype=np.float64)
+        self._counts_base: dict = {}
+        # CDF form of the shares: ``rng.choice(k, p=shares)`` rebuilds
+        # this cumsum per call; ``searchsorted`` over the stored CDF
+        # consumes the same uniform draws and picks identical indices.
+        shares_cdf = self._shares_array.cumsum()
+        shares_cdf /= shares_cdf[-1]
+        self._shares_cdf = shares_cdf
+        # TLB group lists memoized per (thread, per-region epoch keys):
+        # most regions' geometry never changes across epochs, so one
+        # list object serves every epoch (and downstream memos can
+        # compare it by identity).
+        self._tlb_groups_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Engine-facing API
@@ -255,20 +271,73 @@ class WorkloadInstance:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
         return np.concatenate(parts), np.concatenate(write_parts)
 
+    def epoch_stream_into(
+        self,
+        thread: int,
+        epoch: int,
+        rng: np.random.Generator,
+        length: int,
+        out_granules: np.ndarray,
+        out_writes: np.ndarray,
+    ) -> int:
+        """Batched-assembly variant of :meth:`epoch_stream_with_writes`.
+
+        Draws from ``rng`` in exactly the same order but writes the
+        stream directly into the caller's preallocated row buffers (the
+        stream-bank arrays) instead of concatenating per-region parts.
+        ``out_writes`` must arrive zeroed (regions with
+        ``write_fraction <= 0`` rely on it).  Returns the stream size;
+        entries past it are left untouched.
+        """
+        if not 0 <= thread < self.n_threads:
+            raise ConfigurationError(f"thread {thread} out of range")
+        if length <= 0:
+            return 0
+        counts = self._region_counts(length, rng)
+        pos = 0
+        for region, n in zip(self.regions, counts):
+            if n <= 0:
+                continue
+            size = region.sample_into(
+                thread, int(n), epoch, rng, out_granules[pos : pos + int(n)]
+            )
+            if size:
+                if region.write_fraction > 0.0:
+                    out_writes[pos : pos + size] = (
+                        rng.random(size) < region.write_fraction
+                    )
+                pos += size
+        return pos
+
     def _region_counts(self, length: int, rng: np.random.Generator) -> np.ndarray:
-        shares = np.asarray(self._norm_shares)
-        counts = np.floor(shares * length).astype(np.int64)
-        deficit = length - int(counts.sum())
+        base = self._counts_base.get(length)
+        if base is None:
+            floor_counts = np.floor(self._shares_array * length).astype(np.int64)
+            base = (floor_counts, length - int(floor_counts.sum()))
+            self._counts_base[length] = base
+        counts = base[0].copy()
+        deficit = base[1]
         if deficit > 0:
-            extra = rng.choice(len(shares), size=deficit, p=shares)
+            extra = self._shares_cdf.searchsorted(rng.random(deficit), side="right")
             np.add.at(counts, extra, 1)
         return counts
 
     def tlb_groups(self, thread: int, epoch: int) -> List[TlbGroup]:
-        """Analytic working-set description of a thread for the TLB model."""
-        groups: List[TlbGroup] = []
-        for region, share in zip(self.regions, self._norm_shares):
-            groups.extend(region.tlb_groups(thread, epoch, share))
+        """Analytic working-set description of a thread for the TLB model.
+
+        Lists are memoized per ``(thread, epoch key)`` — see
+        :meth:`Region.tlb_epoch_key` — and shared with callers, who
+        must treat them as immutable.  Repeated calls with an unchanged
+        key return the *same* list object, so the engine's per-thread
+        TLB memo can compare group lists by identity.
+        """
+        key = (thread, tuple(r.tlb_epoch_key(epoch) for r in self.regions))
+        groups = self._tlb_groups_cache.get(key)
+        if groups is None:
+            groups = []
+            for region, share in zip(self.regions, self._norm_shares):
+                groups.extend(region.tlb_groups(thread, epoch, share))
+            self._tlb_groups_cache[key] = groups
         return groups
 
     def stream_rng(self, thread: int, epoch: int) -> np.random.Generator:

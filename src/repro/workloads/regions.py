@@ -192,9 +192,40 @@ class Region:
         """Draw ``n`` accessed granule indices for a thread-epoch."""
         raise NotImplementedError
 
+    def sample_into(
+        self,
+        thread: int,
+        n: int,
+        epoch: int,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> int:
+        """Batched path: draw ``n`` indices directly into ``out``.
+
+        Draws from ``rng`` in exactly the same order as :meth:`sample`;
+        the builtins override this to skip the per-part concatenation.
+        Returns the number of entries written (``sample`` may return
+        fewer than ``n`` for exotic subclasses).
+        """
+        part = self.sample(thread, n, epoch, rng)
+        out[: part.size] = part
+        return int(part.size)
+
     def tlb_groups(self, thread: int, epoch: int, norm_share: float) -> List[TlbGroup]:
         """Working-set groups for the TLB model (weights sum to share)."""
         raise NotImplementedError
+
+    def tlb_epoch_key(self, epoch: int):
+        """Hashable summary of :meth:`tlb_groups`' epoch dependence.
+
+        :class:`~repro.workloads.base.WorkloadInstance` memoizes group
+        lists per ``(thread, key)``; regions whose geometry is
+        epoch-invariant return ``None`` so one list serves every
+        epoch.  The base default keys on the epoch itself — no
+        cross-epoch reuse, so unknown subclasses can never be served
+        stale groups.
+        """
+        return epoch
 
 
 class PartitionedRegion(Region):
@@ -277,23 +308,44 @@ class PartitionedRegion(Region):
         block = np.minimum(block, len(self._owners) - 1)
         return self._owners[block]
 
+    def _sample_from_blocks_into(
+        self, blocks: np.ndarray, n: int, rng: np.random.Generator, out: np.ndarray
+    ) -> None:
+        chosen = blocks[rng.integers(0, len(blocks), size=n)]
+        np.multiply(chosen, self.block_granules, out=out)
+        out += rng.integers(0, self.block_granules, size=n)
+        out += self.lo
+
     def _sample_from_blocks(
         self, blocks: np.ndarray, n: int, rng: np.random.Generator
     ) -> np.ndarray:
-        chosen = blocks[rng.integers(0, len(blocks), size=n)]
-        offsets = rng.integers(0, self.block_granules, size=n)
-        return self.lo + chosen * self.block_granules + offsets
+        out = np.empty(n, dtype=np.int64)
+        self._sample_from_blocks_into(blocks, n, rng, out)
+        return out
 
     def sample(
         self, thread: int, n: int, epoch: int, rng: np.random.Generator
     ) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        size = self.sample_into(thread, n, epoch, rng, out)
+        return out[:size]
+
+    def sample_into(
+        self,
+        thread: int,
+        n: int,
+        epoch: int,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> int:
         n_neighbor = (
             int(rng.binomial(n, self.neighbor_share)) if self.neighbor_share else 0
         )
-        parts = []
+        pos = 0
         if n - n_neighbor > 0:
-            parts.append(
-                self._sample_from_blocks(self._block_lists[thread], n - n_neighbor, rng)
+            pos = n - n_neighbor
+            self._sample_from_blocks_into(
+                self._block_lists[thread], pos, rng, out[:pos]
             )
         if n_neighbor > 0:
             half = n_neighbor // 2
@@ -302,12 +354,11 @@ class PartitionedRegion(Region):
                 ((thread - 1) % self.n_threads, half),
             ):
                 if m > 0:
-                    parts.append(
-                        self._sample_from_blocks(
-                            self._boundary_lists[neighbor], m, rng
-                        )
+                    self._sample_from_blocks_into(
+                        self._boundary_lists[neighbor], m, rng, out[pos : pos + m]
                     )
-        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+                    pos += m
+        return pos
 
     def _distincts(self, n_blocks: float) -> tuple:
         granules = n_blocks * self.block_granules
@@ -348,6 +399,10 @@ class PartitionedRegion(Region):
                 )
             )
         return groups
+
+    def tlb_epoch_key(self, epoch: int):
+        """Partition geometry never changes across epochs."""
+        return None
 
 
 class SharedRegion(Region):
@@ -437,7 +492,8 @@ class SharedRegion(Region):
                 edges = np.unique(keep)
         self._bucket_lo = edges[:-1]
         self._bucket_hi = edges[1:]
-        self._bucket_sizes = (self._bucket_hi - self._bucket_lo).astype(np.float64)
+        self._bucket_span = self._bucket_hi - self._bucket_lo
+        self._bucket_sizes = self._bucket_span.astype(np.float64)
         if self.zipf_s == 0:
             weights = self._bucket_sizes.copy()
         else:
@@ -448,6 +504,13 @@ class SharedRegion(Region):
                 ]
             )
         self._bucket_weights = weights / weights.sum()
+        # Precomputed CDF for bucket selection.  ``Generator.choice``
+        # with ``p=`` rebuilds (and re-validates) this cumsum on every
+        # call; ``searchsorted`` over the stored CDF consumes the same
+        # ``rng.random(n)`` draws and returns bit-identical buckets.
+        cdf = self._bucket_weights.cumsum()
+        cdf /= cdf[-1]
+        self._bucket_cdf = cdf
         # Bijective multiplicative hash for the non-clustered layout.
         mult = 2654435761 % u
         if mult in (0, 1):
@@ -485,9 +548,21 @@ class SharedRegion(Region):
     def sample(
         self, thread: int, n: int, epoch: int, rng: np.random.Generator
     ) -> np.ndarray:
-        buckets = rng.choice(len(self._bucket_weights), size=n, p=self._bucket_weights)
+        out = np.empty(n, dtype=np.int64)
+        size = self.sample_into(thread, n, epoch, rng, out)
+        return out[:size]
+
+    def sample_into(
+        self,
+        thread: int,
+        n: int,
+        epoch: int,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> int:
+        buckets = self._bucket_cdf.searchsorted(rng.random(n), side="right")
         lo = self._bucket_lo[buckets]
-        size = (self._bucket_hi - self._bucket_lo)[buckets]
+        size = self._bucket_span[buckets]
         if self.private_consumers:
             # Thread t owns ranks congruent to t modulo n_threads.
             t = np.int64(self.n_threads)
@@ -497,7 +572,8 @@ class SharedRegion(Region):
             ranks = np.minimum(ranks, self._logical - 1)
         else:
             ranks = lo + (rng.random(n) * size).astype(np.int64)
-        return self.lo + self._rank_to_local(ranks)
+        np.add(self._rank_to_local(ranks), self.lo, out=out[:n])
+        return n
 
     def tlb_groups(self, thread: int, epoch: int, norm_share: float) -> List[TlbGroup]:
         groups = []
@@ -529,6 +605,10 @@ class SharedRegion(Region):
                 )
             )
         return groups
+
+    def tlb_epoch_key(self, epoch: int):
+        """Bucket geometry is fixed at bind time."""
+        return None
 
 
 def _zipf_mass(a: float, b: float, s: float) -> float:
@@ -658,18 +738,35 @@ class StreamRegion(Region):
     def sample(
         self, thread: int, n: int, epoch: int, rng: np.random.Generator
     ) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        size = self.sample_into(thread, n, epoch, rng, out)
+        return out[:size]
+
+    def sample_into(
+        self,
+        thread: int,
+        n: int,
+        epoch: int,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> int:
         grown = self.grown_granules(epoch)
         base = self.lo + thread * self._per_g
         window = min(self.window_granules, grown)
         n_recent = int(rng.binomial(n, self.recency)) if self.recency > 0 else 0
-        parts = []
         if n_recent:
-            parts.append(
-                base + (grown - window) + rng.integers(0, window, size=n_recent)
+            np.add(
+                rng.integers(0, window, size=n_recent),
+                base + (grown - window),
+                out=out[:n_recent],
             )
         if n - n_recent:
-            parts.append(base + rng.integers(0, grown, size=n - n_recent))
-        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            np.add(
+                rng.integers(0, grown, size=n - n_recent),
+                base,
+                out=out[n_recent:n],
+            )
+        return n
 
     def tlb_groups(self, thread: int, epoch: int, norm_share: float) -> List[TlbGroup]:
         grown = self.grown_granules(epoch)
@@ -701,3 +798,7 @@ class StreamRegion(Region):
                 )
             )
         return groups
+
+    def tlb_epoch_key(self, epoch: int):
+        """Groups depend on the epoch only through the grown extent."""
+        return self.grown_granules(epoch)

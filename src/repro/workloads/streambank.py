@@ -1,0 +1,517 @@
+"""Epoch-batched, memoized access-stream banks.
+
+Profiling (``BENCH_engine.json``) showed ~74% of cold grid wall-clock
+in the ``streams`` phase — per-(thread, epoch) Python-loop stream
+generation repeated *per run*, even though the streams themselves are
+policy-independent: generation never reads the address space, so a
+``linux-4k`` and a ``thp`` run of the same workload on the same machine
+draw exactly the same streams.  A :class:`StreamBank` generates each
+(epoch, thread) stream once, stores the ``(granules, writes, size)``
+rows in preallocated ``(n_threads, length)`` arrays the engine consumes
+directly, and memoizes banks process-wide keyed by a fingerprint of
+everything generation depends on: workload identity and scalars, the
+simulation seed, and the stream length.
+
+Three fidelity rules keep banked runs bit-identical to inline runs:
+
+* streams are drawn with the engine's own per-thread generators
+  (``rng_for(sim_seed, instance.seed, instance.name, "stream", t,
+  epoch)``) through :meth:`WorkloadInstance.epoch_stream_into`, which
+  draws in exactly the order of ``epoch_stream_with_writes``;
+* the IBS sampler continues each thread's generator *after* stream
+  generation, so the bank captures every generator's
+  ``bit_generator.state`` post-generation and replays it through
+  :func:`repro._util.rng_from_state` on demand;
+* the engine treats bank arrays as read-only (it keeps its own
+  ``stream_homes`` scratch), so one bank serves any number of
+  concurrent runs.
+
+Banks also pre-aggregate the access tracker's ``np.unique`` columns
+and the per-epoch sharing summary (the other repeated per-run costs)
+— see :meth:`StreamBank.tracker_columns`,
+:meth:`StreamBank.sharing_columns` and the
+:class:`repro.sim.tracker.AccessTracker` methods ``add_weights`` /
+``merge_epoch_sharing``.
+
+Environment knobs:
+
+* ``REPRO_STREAM_BANK=0`` disables banking (the engine falls back to
+  inline per-thread generation; results are bit-identical either way);
+* ``REPRO_STREAM_CACHE=<dir>`` persists completed epoch blocks to disk
+  (``.npy`` columns loaded back memmapped), so banks survive across
+  processes of a grid sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util import rng_for, rng_from_state, stable_seed
+from repro.vm.layout import SHIFT_1G, SHIFT_2M
+
+#: Set to ``0``/``false`` to disable stream banking entirely.
+STREAM_BANK_ENV = "REPRO_STREAM_BANK"
+#: Directory for the optional on-disk block store (unset = memory only).
+STREAM_CACHE_ENV = "REPRO_STREAM_CACHE"
+
+#: Epochs per storage block.  Blocks are filled lazily epoch by epoch,
+#: so a short run never generates past what it consumes; the window
+#: only bounds allocation and disk-store granularity.
+EPOCH_WINDOW = 16
+
+_FALSE_VALUES = frozenset({"0", "false", "off", "no"})
+
+_MAX_BANKS = 12
+_MAX_BLOCKS_PER_BANK = 4
+
+_LOCK = threading.Lock()
+_BANKS: "OrderedDict[str, StreamBank]" = OrderedDict()
+#: Banks for instances without a stable fingerprint (e.g. trace
+#: replays): keyed by identity, garbage-collected with the instance.
+_INSTANCE_BANKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def stream_bank_enabled() -> bool:
+    """Whether the engine should route stream generation through banks."""
+    value = os.environ.get(STREAM_BANK_ENV, "").strip().lower()
+    return value not in _FALSE_VALUES
+
+
+def stream_cache_dir() -> Optional[str]:
+    """The on-disk block-store directory, or ``None`` when disabled."""
+    path = os.environ.get(STREAM_CACHE_ENV, "").strip()
+    return path or None
+
+
+def clear_stream_banks() -> None:
+    """Drop every memoized bank (benchmarks and tests use this to
+    measure or exercise cold generation)."""
+    with _LOCK:
+        _BANKS.clear()
+        _INSTANCE_BANKS.clear()
+
+
+def _dedupe_sorted(values: np.ndarray) -> np.ndarray:
+    """Distinct values of an already-sorted array (``np.unique`` minus
+    the redundant sort)."""
+    if values.size <= 1:
+        return values
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+_SCALAR_TYPES = (bool, int, float, str, bytes, type(None))
+
+
+def _region_signature(region: object) -> tuple:
+    """Scalar attributes of a region, in sorted order.
+
+    Every array/list a builtin region holds is derived deterministically
+    from these scalars in ``_on_bind``, so the scalars (plus the class
+    name) pin the region's sampling behaviour.
+    """
+    scalars = tuple(
+        (key, value)
+        for key, value in sorted(vars(region).items())
+        if isinstance(value, _SCALAR_TYPES)
+    )
+    return (type(region).__name__, scalars)
+
+
+def bank_fingerprint(instance: object, sim_seed: int, length: int) -> Optional[str]:
+    """Stable identity of everything stream generation depends on.
+
+    Returns ``None`` for instances without a ``regions`` list (trace
+    replays and other duck-typed instances): their streams depend on
+    payload data we cannot cheaply fingerprint, so they get per-object
+    banks instead of shareable ones.
+    """
+    regions = getattr(instance, "regions", None)
+    if regions is None:
+        return None
+    parts = (
+        type(instance).__name__,
+        instance.name,
+        instance.seed,
+        sim_seed,
+        length,
+        instance.n_threads,
+        instance.n_granules,
+        instance.backing_1g,
+        instance.total_epochs,
+        tuple(_region_signature(region) for region in regions),
+    )
+    return f"{stable_seed(*parts):016x}"
+
+
+def get_stream_bank(instance: object, sim_seed: int, length: int) -> "StreamBank":
+    """The process-wide bank for ``(instance, sim_seed, length)``.
+
+    Fingerprinted instances share one bank per fingerprint (this is
+    what lets the two policy runs of a grid cell reuse each other's
+    streams); unfingerprintable instances get a bank tied to the object
+    itself.
+    """
+    fingerprint = bank_fingerprint(instance, sim_seed, length)
+    with _LOCK:
+        if fingerprint is None:
+            per_instance = _INSTANCE_BANKS.get(instance)
+            if per_instance is None:
+                per_instance = {}
+                _INSTANCE_BANKS[instance] = per_instance
+            bank = per_instance.get((sim_seed, length))
+            if bank is None:
+                bank = StreamBank(instance, sim_seed, length)
+                per_instance[(sim_seed, length)] = bank
+            return bank
+        bank = _BANKS.get(fingerprint)
+        if bank is not None and (
+            bank_fingerprint(bank.instance, sim_seed, length) != fingerprint
+        ):
+            # The stored instance's regions were re-bound (e.g. via
+            # ``with_1g_backing``) after the bank memoized them; its
+            # future fills would no longer match the key.  Rebuild.
+            bank = None
+        if bank is None:
+            bank = StreamBank(
+                instance,
+                sim_seed,
+                length,
+                fingerprint=fingerprint,
+                cache_dir=stream_cache_dir(),
+            )
+            _BANKS[fingerprint] = bank
+            while len(_BANKS) > _MAX_BANKS:
+                _BANKS.popitem(last=False)
+        else:
+            _BANKS.move_to_end(fingerprint)
+        return bank
+
+
+class _Block:
+    """Storage for one ``EPOCH_WINDOW``-sized range of epochs."""
+
+    __slots__ = ("epoch0", "n_epochs", "streams", "writes", "sizes",
+                 "rng_states", "filled", "persisted")
+
+    def __init__(self, epoch0: int, n_epochs: int, n_threads: int,
+                 length: int) -> None:
+        self.epoch0 = epoch0
+        self.n_epochs = n_epochs
+        self.streams = np.zeros((n_epochs, n_threads, length), dtype=np.int64)
+        self.writes = np.zeros((n_epochs, n_threads, length), dtype=bool)
+        self.sizes = np.zeros((n_epochs, n_threads), dtype=np.int64)
+        self.rng_states: List[Optional[List[dict]]] = [None] * n_epochs
+        self.filled = np.zeros(n_epochs, dtype=bool)
+        self.persisted = False
+
+    @classmethod
+    def from_store(
+        cls,
+        epoch0: int,
+        streams: np.ndarray,
+        writes: np.ndarray,
+        sizes: np.ndarray,
+        rng_states: List[List[dict]],
+    ) -> "_Block":
+        block = cls.__new__(cls)
+        block.epoch0 = epoch0
+        block.n_epochs = streams.shape[0]
+        block.streams = streams
+        block.writes = writes
+        block.sizes = sizes
+        block.rng_states = list(rng_states)
+        block.filled = np.ones(block.n_epochs, dtype=bool)
+        block.persisted = True
+        return block
+
+
+class StreamBank:
+    """Memoized per-epoch access streams for one workload instance."""
+
+    def __init__(
+        self,
+        instance: object,
+        sim_seed: int,
+        length: int,
+        fingerprint: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.instance = instance
+        self.sim_seed = sim_seed
+        self.length = length
+        self.n_threads = int(instance.n_threads)
+        self.total_epochs = int(instance.total_epochs)
+        self.fingerprint = fingerprint
+        self._dir = (
+            os.path.join(cache_dir, fingerprint)
+            if cache_dir is not None and fingerprint is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._blocks: "OrderedDict[int, _Block]" = OrderedDict()
+        self._tracker_memo: Dict[Tuple[int, int], tuple] = {}
+        self._sharing_memo: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Engine-facing API
+    # ------------------------------------------------------------------
+    def epoch_arrays(
+        self, epoch: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(streams, writes, sizes)`` views for one epoch.
+
+        Shapes ``(n_threads, length)``, ``(n_threads, length)`` and
+        ``(n_threads,)``; rows past each thread's size are zero.  The
+        arrays are shared — callers must treat them as read-only.
+        """
+        with self._lock:
+            block, i = self._row(epoch)
+            return block.streams[i], block.writes[i], block.sizes[i]
+
+    def ibs_rngs(self, epoch: int) -> List[np.random.Generator]:
+        """Fresh per-thread generators positioned after stream draws.
+
+        Each call rebuilds the generators from the captured states, so
+        every run's IBS sampler consumes its own copies — exactly the
+        values the inline path would have drawn.
+        """
+        with self._lock:
+            block, i = self._row(epoch)
+            states = block.rng_states[i]
+        return [rng_from_state(state) for state in states]
+
+    def tracker_columns(self, epoch: int, thread: int) -> tuple:
+        """``(unique, counts, unique_2m, unique_1g)`` of one stream.
+
+        The :class:`~repro.sim.tracker.AccessTracker` aggregation
+        (``np.unique`` over every thread-epoch stream) is identical
+        across runs sharing a bank, so it is computed here once and
+        memoized alongside the streams.
+        """
+        key = (epoch, thread)
+        columns = self._tracker_memo.get(key)
+        if columns is not None:
+            return columns
+        with self._lock:
+            columns = self._tracker_memo.get(key)
+            if columns is None:
+                block, i = self._row(epoch)
+                n = int(block.sizes[i, thread])
+                unique, counts = np.unique(
+                    block.streams[i, thread, :n], return_counts=True
+                )
+                # ``unique`` is sorted, so the shifted views are sorted
+                # too; a neighbour-diff dedupe equals ``np.unique``
+                # without re-sorting.
+                columns = (
+                    unique,
+                    counts,
+                    _dedupe_sorted(unique >> SHIFT_2M),
+                    _dedupe_sorted(unique >> SHIFT_1G),
+                )
+                self._tracker_memo[key] = columns
+        return columns
+
+    def sharing_columns(self, epoch: int) -> tuple:
+        """Per-level epoch sharing summary: three ``(ids, first, multi)``.
+
+        For each page level (4KB granule, 2MB chunk, 1GB chunk):
+        the sorted distinct ids touched by *any* thread this epoch,
+        the lowest thread id touching each, and whether two or more
+        distinct threads touched it.  Together with the per-thread
+        :meth:`tracker_columns` weights this is everything the access
+        tracker needs from an epoch
+        (:meth:`~repro.sim.tracker.AccessTracker.merge_epoch_sharing`),
+        and it is policy-independent, so runs sharing a bank pay the
+        aggregation once.
+        """
+        columns = self._sharing_memo.get(epoch)
+        if columns is not None:
+            return columns
+        per_level = ([], [], [])
+        threads_per_level = ([], [], [])
+        for t in range(self.n_threads):
+            unique, _, u2, u1 = self.tracker_columns(epoch, t)
+            for slot, ids in enumerate((unique, u2, u1)):
+                if ids.size:
+                    per_level[slot].append(ids)
+                    threads_per_level[slot].append(
+                        np.full(ids.size, t, dtype=np.int16)
+                    )
+        levels = []
+        for ids_list, thread_list in zip(per_level, threads_per_level):
+            if not ids_list:
+                levels.append(
+                    (
+                        np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.int16),
+                        np.empty(0, dtype=bool),
+                    )
+                )
+                continue
+            all_ids = np.concatenate(ids_list)
+            all_threads = np.concatenate(thread_list)
+            # Stable sort by id: per-thread lists are deduplicated and
+            # appended in ascending thread order, so the first row of
+            # each id run is its lowest toucher.
+            order = np.argsort(all_ids, kind="stable")
+            sorted_ids = all_ids[order]
+            sorted_threads = all_threads[order]
+            keep = np.empty(sorted_ids.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=keep[1:])
+            starts = np.flatnonzero(keep)
+            touches = np.diff(np.append(starts, sorted_ids.size))
+            levels.append(
+                (sorted_ids[starts], sorted_threads[starts], touches >= 2)
+            )
+        columns = tuple(levels)
+        with self._lock:
+            self._sharing_memo.setdefault(epoch, columns)
+        return columns
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def _row(self, epoch: int) -> Tuple[_Block, int]:
+        """The (block, row-index) holding ``epoch``, filled."""
+        epoch0 = (epoch // EPOCH_WINDOW) * EPOCH_WINDOW
+        block = self._blocks.get(epoch0)
+        if block is None:
+            block = self._load(epoch0)
+            if block is None:
+                n_epochs = max(1, min(EPOCH_WINDOW, self.total_epochs - epoch0))
+                block = _Block(epoch0, n_epochs, self.n_threads, self.length)
+            self._blocks[epoch0] = block
+            while len(self._blocks) > _MAX_BLOCKS_PER_BANK:
+                old0, old = self._blocks.popitem(last=False)
+                for e in range(old0, old0 + old.n_epochs):
+                    self._sharing_memo.pop(e, None)
+                    for t in range(self.n_threads):
+                        self._tracker_memo.pop((e, t), None)
+        else:
+            self._blocks.move_to_end(epoch0)
+        i = epoch - block.epoch0
+        if not block.filled[i]:
+            self._fill(block, i)
+        return block, i
+
+    def _fill(self, block: _Block, i: int) -> None:
+        """Generate every thread's stream for one epoch row."""
+        epoch = block.epoch0 + i
+        instance = self.instance
+        into = getattr(instance, "epoch_stream_into", None)
+        states: List[dict] = []
+        for t in range(self.n_threads):
+            rng = rng_for(
+                self.sim_seed, instance.seed, instance.name, "stream", t, epoch
+            )
+            if into is not None:
+                n = into(
+                    t, epoch, rng, self.length,
+                    block.streams[i, t], block.writes[i, t],
+                )
+            else:
+                granules, writes = instance.epoch_stream_with_writes(
+                    t, epoch, rng, self.length
+                )
+                n = int(granules.size)
+                if n:
+                    block.streams[i, t, :n] = granules
+                    block.writes[i, t, :n] = writes
+            block.sizes[i, t] = n
+            states.append(rng.bit_generator.state)
+        block.rng_states[i] = states
+        block.filled[i] = True
+        if self._dir is not None and not block.persisted and block.filled.all():
+            self._persist(block)
+
+    # ------------------------------------------------------------------
+    # Optional on-disk store (REPRO_STREAM_CACHE)
+    # ------------------------------------------------------------------
+    def _paths(self, epoch0: int) -> Dict[str, str]:
+        base = os.path.join(self._dir, f"b{epoch0}")
+        return {
+            "streams": base + ".streams.npy",
+            "writes": base + ".writes.npy",
+            "sizes": base + ".sizes.npy",
+            "rng": base + ".rng.json",
+            "ok": base + ".ok",
+        }
+
+    def _persist(self, block: _Block) -> None:
+        """Best-effort write of a completed block (atomic per file; the
+        ``.ok`` marker lands last so readers never see partial blocks)."""
+        paths = self._paths(block.epoch0)
+        try:
+            os.makedirs(self._dir, exist_ok=True)
+            for key, array in (
+                ("streams", block.streams),
+                ("writes", block.writes),
+                ("sizes", block.sizes),
+            ):
+                _atomic_write(
+                    paths[key], self._dir,
+                    lambda fh, a=array: np.save(fh, a),
+                )
+            _atomic_write(
+                paths["rng"], self._dir,
+                lambda fh: fh.write(
+                    json.dumps(block.rng_states).encode("ascii")
+                ),
+            )
+            _atomic_write(paths["ok"], self._dir, lambda fh: fh.write(b"ok"))
+            block.persisted = True
+        except OSError:
+            pass
+
+    def _load(self, epoch0: int) -> Optional[_Block]:
+        """Load a persisted block memmapped, or ``None``."""
+        if self._dir is None:
+            return None
+        paths = self._paths(epoch0)
+        if not os.path.exists(paths["ok"]):
+            return None
+        try:
+            streams = np.load(paths["streams"], mmap_mode="r")
+            writes = np.load(paths["writes"], mmap_mode="r")
+            sizes = np.load(paths["sizes"])
+            with open(paths["rng"], "r", encoding="ascii") as fh:
+                rng_states = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        n_epochs = max(1, min(EPOCH_WINDOW, self.total_epochs - epoch0))
+        if (
+            streams.shape != (n_epochs, self.n_threads, self.length)
+            or writes.shape != streams.shape
+            or sizes.shape != (n_epochs, self.n_threads)
+            or len(rng_states) != n_epochs
+        ):
+            return None
+        return _Block.from_store(epoch0, streams, writes, sizes, rng_states)
+
+
+def _atomic_write(path: str, directory: str, write) -> None:
+    """Write via a temp file + rename so readers never see partials."""
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -191,13 +191,14 @@ def test_r102_and_r103_partition_by_family():
 R104_ENGINE = """\
 import numpy as np
 
-from util import jitter, rng_for, sanctioned
+from util import jitter, rng_for, rng_from_state, sanctioned
 
 
 class Simulation:
     def run(self):
         self.step()
         rng_for(0)
+        rng_from_state(None)
         sanctioned()
         return jitter()
 
@@ -217,6 +218,12 @@ def jitter():
 
 def rng_for(seed):
     return np.random.default_rng(seed)
+
+
+def rng_from_state(state):
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state
+    return rng
 
 
 def sanctioned():
@@ -250,7 +257,8 @@ def test_r104_skips_unreachable_and_sanctioned_sinks():
     messages = "\n".join(f.message for f in r104_findings())
     assert "time.monotonic" not in messages  # unreachable from run()
     assert "perf_counter" not in messages  # carries lint: ignore[R002]
-    assert "default_rng" not in messages  # rng_for is the sanctioned site
+    # rng_for and rng_from_state are the sanctioned construction sites
+    assert "default_rng" not in messages
 
 
 def test_r104_entry_point_registry_extends_roots():

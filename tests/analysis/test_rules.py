@@ -86,6 +86,28 @@ def test_suppression_comment_silences_named_rule():
     ]
 
 
+def test_r002_sanctions_generator_construction_sites():
+    """R002 skips calls inside the two sanctioned sites: the seeded
+    derivation (rng_for) and the state replay the stream banks use
+    (rng_from_state)."""
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def rng_from_state(state):\n"
+        "    rng = np.random.default_rng()\n"
+        "    rng.bit_generator.state = state\n"
+        "    return rng\n"
+        "\n"
+        "\n"
+        "def unsanctioned(state):\n"
+        "    return np.random.default_rng()\n"
+    )
+    findings = lint_source(source, "x.py")
+    assert [f.rule for f in findings] == ["R002"]
+    assert findings[0].line == 11  # only the call outside rng_from_state
+
+
 def test_blanket_suppression_comment():
     source = "import numpy as np\nrng = np.random.default_rng()  # lint: ignore\n"
     assert lint_source(source, "x.py") == []

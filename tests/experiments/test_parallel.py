@@ -9,10 +9,12 @@ import pytest
 from repro.experiments import runner as runner_mod
 from repro.experiments.cache import CACHE_DIR_ENV
 from repro.experiments.parallel import (
+    BACKEND_ENV,
     JOBS_ENV,
     GridRunner,
     RunSpec,
     prefetch,
+    resolve_backend,
     resolve_jobs,
 )
 from repro.experiments.runner import (
@@ -83,8 +85,50 @@ class TestResolveJobs:
 
     def test_cpu_count_unknown(self, monkeypatch):
         monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: None)
-        assert resolve_jobs(4) == 1
+        # Unknown cpu count resolves to the thread backend, which
+        # floors at two shards (in-process overlap is productive even
+        # on one core); the process backend still clamps to one.
+        assert resolve_jobs(4) == 2
+        assert resolve_jobs(4, backend="process") == 1
+
+
+class TestResolveBackend:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert resolve_backend() == "thread"
+        monkeypatch.setenv(BACKEND_ENV, "PROCESS")
+        assert resolve_backend() == "process"
+
+    def test_auto_follows_core_count(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_backend() == "process"
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_backend() == "thread"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with pytest.raises(ValueError):
+            resolve_backend("fibers")
+
+    def test_thread_backend_floors_at_two(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_jobs(None, backend="thread") == 2
+        assert resolve_jobs(8, backend="thread") == 2
+        assert resolve_jobs(1, backend="thread") == 1
+
+    def test_thread_backend_clamps_to_cpus(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert resolve_jobs(16, backend="thread") == 4
+        assert resolve_jobs(None, backend="thread") == 3
 
 
 class TestGridAssembly:
@@ -152,6 +196,23 @@ class TestGridExecution:
                 backing_1g=spec.backing_1g,
             )
             assert _signature(cached) == _signature(serial[spec]), spec
+
+    def test_thread_backend_matches_serial(self, fresh_env):
+        """In-process sharded execution is bit-identical to serial."""
+        settings = RunSettings.quick()
+        serial = {
+            spec: execute_run(
+                spec.workload, spec.machine, spec.policy, settings, spec.backing_1g
+            )
+            for spec in GRID
+        }
+        clear_cache()
+        grid = GridRunner(settings, backend="thread")
+        for spec in GRID:
+            grid.add_spec(spec)
+        threaded = grid.run(jobs=2)
+        for spec in GRID:
+            assert _signature(threaded[spec]) == _signature(serial[spec]), spec
 
     def test_results_installed_in_memo(self, fresh_env):
         settings = RunSettings.quick()

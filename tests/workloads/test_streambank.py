@@ -1,0 +1,317 @@
+"""Tests for the epoch-batched stream banks.
+
+The contract under test is *bit-identity*: a banked run must be
+indistinguishable from the inline per-thread generation it replaced —
+same granule streams, same write masks, same post-generation RNG
+states (the IBS sampler continues those generators), and the same
+access-tracker state from the pre-aggregated columns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.experiments.runner import RunSettings, clear_cache, execute_run
+from repro.sim.tracker import AccessTracker
+from repro.vm.layout import SHIFT_1G, SHIFT_2M
+from repro.workloads.base import CostProfile, WorkloadInstance
+from repro.workloads.regions import (
+    HotRegion,
+    PartitionedRegion,
+    SharedRegion,
+    StreamRegion,
+)
+from repro.workloads.streambank import (
+    STREAM_BANK_ENV,
+    STREAM_CACHE_ENV,
+    StreamBank,
+    bank_fingerprint,
+    clear_stream_banks,
+    get_stream_bank,
+    stream_bank_enabled,
+)
+from repro.workloads.trace import TraceData, TraceRecorder, TraceWorkloadInstance
+
+MIB = 1 << 20
+LENGTH = 192
+SIM_SEED = 0
+
+#: One factory per builtin region type (plus a mixed composite).  The
+#: factories build fresh region objects each call because binding to an
+#: instance mutates them.
+REGION_FACTORIES = {
+    "partitioned": lambda: [
+        PartitionedRegion("p", 4 * MIB, 1.0, block_bytes=64 * 1024)
+    ],
+    "shared": lambda: [
+        SharedRegion("s", 8 * MIB, 1.0, zipf_s=1.1, clustered=False)
+    ],
+    "hot": lambda: [HotRegion("h", 2 * MIB, 1.0)],
+    "stream": lambda: [
+        StreamRegion("st", bytes_per_thread=4 * MIB, access_share=1.0,
+                     grow_epochs=3)
+    ],
+    "mixed": lambda: [
+        PartitionedRegion("p", 4 * MIB, 0.5, block_bytes=64 * 1024),
+        SharedRegion("s", 4 * MIB, 0.3, zipf_s=0.8),
+        StreamRegion("st", bytes_per_thread=2 * MIB, access_share=0.2,
+                     grow_epochs=2),
+    ],
+}
+
+
+def make_instance(regions, machine, total_epochs=4, **kwargs):
+    cost = CostProfile(cpu_seconds=0.1, mem_accesses=1e6, dram_accesses=1e5)
+    return WorkloadInstance(
+        "test", machine, regions, cost, total_epochs=total_epochs, **kwargs
+    )
+
+
+def sequential_rows(instance, epoch, length=LENGTH, sim_seed=SIM_SEED):
+    """The inline path's (granules, writes, rng state) for every thread."""
+    rows = []
+    for t in range(instance.n_threads):
+        rng = rng_for(sim_seed, instance.seed, instance.name, "stream", t, epoch)
+        granules, writes = instance.epoch_stream_with_writes(t, epoch, rng, length)
+        rows.append((granules, writes, rng.bit_generator.state))
+    return rows
+
+
+def assert_bank_matches_sequential(bank, instance, epoch, length=LENGTH):
+    streams, writes, sizes = bank.epoch_arrays(epoch)
+    ibs = bank.ibs_rngs(epoch)
+    for t, (ref_g, ref_w, ref_state) in enumerate(
+        sequential_rows(instance, epoch, length)
+    ):
+        n = int(sizes[t])
+        assert n == ref_g.size
+        np.testing.assert_array_equal(streams[t, :n], ref_g)
+        np.testing.assert_array_equal(writes[t, :n], ref_w)
+        # Rows past the stream size stay zeroed (epoch_stream_into
+        # relies on pre-zeroed write rows).
+        assert not writes[t, n:].any()
+        assert ibs[t].bit_generator.state == ref_state
+
+
+@pytest.fixture(autouse=True)
+def _fresh_banks():
+    clear_stream_banks()
+    yield
+    clear_stream_banks()
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("kind", sorted(REGION_FACTORIES))
+    def test_matches_sequential(self, kind, tiny_topo):
+        inst = make_instance(REGION_FACTORIES[kind](), tiny_topo)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        for epoch in (0, 1, 3):
+            assert_bank_matches_sequential(bank, inst, epoch)
+
+    def test_write_fraction_zero(self, tiny_topo):
+        """wf=0 regions draw no write randomness on either path."""
+        inst = make_instance(
+            [SharedRegion("s", 4 * MIB, 1.0, write_fraction=0.0)], tiny_topo
+        )
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        for epoch in (0, 2):
+            assert_bank_matches_sequential(bank, inst, epoch)
+        _, writes, sizes = bank.epoch_arrays(0)
+        assert not writes.any()
+        assert (sizes == LENGTH).all()
+
+    def test_trace_replay_matches_sequential(self, tiny_topo):
+        """Trace instances (no epoch_stream_into) use the fallback."""
+        inst = make_instance(REGION_FACTORIES["mixed"](), tiny_topo,
+                             total_epochs=3)
+        trace = TraceRecorder().record(inst, stream_length=96)
+        replay = TraceWorkloadInstance("replayed", tiny_topo, trace)
+        bank = StreamBank(replay, SIM_SEED, 64)
+        for epoch in range(replay.total_epochs):
+            assert_bank_matches_sequential(bank, replay, epoch, length=64)
+
+    def test_empty_streams(self, tiny_topo):
+        """An epoch nobody touches yields empty rows and empty columns."""
+        cost = CostProfile(cpu_seconds=0.1, mem_accesses=1e6, dram_accesses=1e5)
+        trace = TraceData(
+            n_threads=2,
+            n_granules=64,
+            total_epochs=2,
+            thread=np.array([0, 0, 1], dtype=np.int64),
+            epoch=np.zeros(3, dtype=np.int64),
+            granule=np.array([1, 2, 3], dtype=np.int64),
+            is_write=np.array([False, True, False]),
+            cost=cost,
+            tlb_run_length=8.0,
+        )
+        replay = TraceWorkloadInstance("sparse", tiny_topo, trace)
+        bank = StreamBank(replay, SIM_SEED, 16)
+        _, writes, sizes = bank.epoch_arrays(1)
+        assert (sizes == 0).all()
+        assert not writes.any()
+        for ids, first, multi in bank.sharing_columns(1):
+            assert ids.size == first.size == multi.size == 0
+        tracker = AccessTracker(64)
+        tracker.merge_epoch_sharing(*bank.sharing_columns(1))
+        assert not tracker._shared_4k.any()
+        assert (tracker._first_4k == -1).all()
+
+
+class TestTrackerColumns:
+    def test_columns_match_numpy_unique(self, tiny_topo):
+        inst = make_instance(REGION_FACTORIES["mixed"](), tiny_topo)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        streams, _, sizes = bank.epoch_arrays(0)
+        for t in range(inst.n_threads):
+            unique, counts, u2, u1 = bank.tracker_columns(0, t)
+            ref_u, ref_c = np.unique(streams[t, : int(sizes[t])],
+                                     return_counts=True)
+            np.testing.assert_array_equal(unique, ref_u)
+            np.testing.assert_array_equal(counts, ref_c)
+            np.testing.assert_array_equal(u2, np.unique(ref_u >> SHIFT_2M))
+            np.testing.assert_array_equal(u1, np.unique(ref_u >> SHIFT_1G))
+
+    def test_merge_matches_sequential_update(self, tiny_topo):
+        """Bank columns reproduce the tracker state of per-thread update().
+
+        Sequential reference: ``update(t, ...)`` per thread in ascending
+        order, epoch by epoch — exactly the inline engine loop.
+        """
+        inst = make_instance(REGION_FACTORIES["mixed"](), tiny_topo)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        seq = AccessTracker(inst.n_granules)
+        banked = AccessTracker(inst.n_granules)
+        for epoch in range(inst.total_epochs):
+            streams, _, sizes = bank.epoch_arrays(epoch)
+            for t in range(inst.n_threads):
+                weight = 0.5 + 0.25 * t  # distinct per-thread weights
+                seq.update(t, streams[t, : int(sizes[t])], weight)
+                unique, counts, _, _ = bank.tracker_columns(epoch, t)
+                banked.add_weights(unique, counts, weight)
+            banked.merge_epoch_sharing(*bank.sharing_columns(epoch))
+        np.testing.assert_array_equal(banked.weight, seq.weight)
+        for level in ("4k", "2m", "1g"):
+            np.testing.assert_array_equal(
+                getattr(banked, f"_first_{level}"),
+                getattr(seq, f"_first_{level}"),
+            )
+            np.testing.assert_array_equal(
+                getattr(banked, f"_shared_{level}"),
+                getattr(seq, f"_shared_{level}"),
+            )
+
+
+class TestBankMemoization:
+    def test_fingerprint_stability(self, tiny_topo):
+        a = make_instance(REGION_FACTORIES["shared"](), tiny_topo)
+        b = make_instance(REGION_FACTORIES["shared"](), tiny_topo)
+        assert bank_fingerprint(a, 0, LENGTH) == bank_fingerprint(b, 0, LENGTH)
+        assert bank_fingerprint(a, 1, LENGTH) != bank_fingerprint(a, 0, LENGTH)
+        assert bank_fingerprint(a, 0, 64) != bank_fingerprint(a, 0, LENGTH)
+        c = make_instance(REGION_FACTORIES["shared"](), tiny_topo, seed=7)
+        assert bank_fingerprint(c, 0, LENGTH) != bank_fingerprint(a, 0, LENGTH)
+
+    def test_equal_instances_share_a_bank(self, tiny_topo):
+        a = make_instance(REGION_FACTORIES["partitioned"](), tiny_topo)
+        b = make_instance(REGION_FACTORIES["partitioned"](), tiny_topo)
+        assert get_stream_bank(a, 0, LENGTH) is get_stream_bank(b, 0, LENGTH)
+
+    def test_trace_banks_are_per_object(self, tiny_topo):
+        inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                             total_epochs=2)
+        trace = TraceRecorder().record(inst, stream_length=64)
+        r1 = TraceWorkloadInstance("t", tiny_topo, trace)
+        r2 = TraceWorkloadInstance("t", tiny_topo, trace)
+        assert bank_fingerprint(r1, 0, LENGTH) is None
+        assert get_stream_bank(r1, 0, LENGTH) is get_stream_bank(r1, 0, LENGTH)
+        assert get_stream_bank(r1, 0, LENGTH) is not get_stream_bank(r2, 0, LENGTH)
+
+    def test_rebound_instance_invalidates_bank(self, tiny_topo):
+        """with_1g_backing re-binds the shared region objects; the stale
+        bank must not answer for the original fingerprint afterwards."""
+        inst = make_instance(REGION_FACTORIES["stream"](), tiny_topo)
+        stale = get_stream_bank(inst, SIM_SEED, LENGTH)
+        stale.epoch_arrays(0)
+        inst.with_1g_backing()  # mutates the regions stale.instance holds
+        fresh_inst = make_instance(REGION_FACTORIES["stream"](), tiny_topo)
+        fresh = get_stream_bank(fresh_inst, SIM_SEED, LENGTH)
+        assert fresh is not stale
+        assert_bank_matches_sequential(fresh, fresh_inst, 0)
+
+
+class TestDiskStore:
+    def test_round_trip_memmapped(self, tiny_topo, tmp_path, monkeypatch):
+        monkeypatch.setenv(STREAM_CACHE_ENV, str(tmp_path))
+        inst = make_instance(REGION_FACTORIES["mixed"](), tiny_topo,
+                             total_epochs=3)
+        bank = get_stream_bank(inst, SIM_SEED, LENGTH)
+        # Consuming every epoch completes the block and persists it.
+        for epoch in range(inst.total_epochs):
+            bank.epoch_arrays(epoch)
+        store_dir = os.path.join(str(tmp_path), bank.fingerprint)
+        assert os.path.exists(os.path.join(store_dir, "b0.ok"))
+
+        clear_stream_banks()
+        inst2 = make_instance(REGION_FACTORIES["mixed"](), tiny_topo,
+                              total_epochs=3)
+        bank2 = get_stream_bank(inst2, SIM_SEED, LENGTH)
+        streams2, _, _ = bank2.epoch_arrays(0)
+        assert isinstance(streams2, np.memmap)  # loaded, not regenerated
+        for epoch in range(inst2.total_epochs):
+            assert_bank_matches_sequential(bank2, inst2, epoch)
+
+    def test_incomplete_store_regenerates(self, tiny_topo, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv(STREAM_CACHE_ENV, str(tmp_path))
+        inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                             total_epochs=2)
+        bank = get_stream_bank(inst, SIM_SEED, LENGTH)
+        for epoch in range(inst.total_epochs):
+            bank.epoch_arrays(epoch)
+        os.unlink(os.path.join(str(tmp_path), bank.fingerprint, "b0.ok"))
+
+        clear_stream_banks()
+        inst2 = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                              total_epochs=2)
+        bank2 = get_stream_bank(inst2, SIM_SEED, LENGTH)
+        streams2, _, _ = bank2.epoch_arrays(0)
+        assert not isinstance(streams2, np.memmap)
+        for epoch in range(inst2.total_epochs):
+            assert_bank_matches_sequential(bank2, inst2, epoch)
+
+
+class TestEngineEquivalence:
+    def test_bank_toggle_is_bit_identical(self, monkeypatch):
+        """A banked engine run equals the inline run, metric for metric."""
+        settings = RunSettings.quick()
+
+        monkeypatch.setenv(STREAM_BANK_ENV, "0")
+        assert not stream_bank_enabled()
+        clear_cache()
+        inline = execute_run("Kmeans", "A", "thp", settings, False)
+
+        monkeypatch.delenv(STREAM_BANK_ENV)
+        assert stream_bank_enabled()
+        clear_stream_banks()
+        clear_cache()
+        banked = execute_run("Kmeans", "A", "thp", settings, False)
+
+        assert banked.runtime_s == inline.runtime_s
+        assert banked.epoch_times_s == inline.epoch_times_s
+        assert banked.hot_stats == inline.hot_stats
+        for counter in (
+            "tlb_misses",
+            "page_faults_4k",
+            "page_faults_2m",
+            "time_dram_s",
+            "time_walk_s",
+            "time_ibs_s",
+        ):
+            assert banked.bank.total(counter) == inline.bank.total(counter)
+        assert float(
+            sum(e.traffic.sum() for e in banked.bank.epochs)
+        ) == float(sum(e.traffic.sum() for e in inline.bank.epochs))
