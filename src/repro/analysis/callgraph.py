@@ -186,10 +186,14 @@ class Project:
         #: module -> {module-level function/class name -> qualname}
         self.module_symbols: Dict[str, Dict[str, str]] = {}
         #: Registry declarations found in the tree (module-level
-        #: ``_RESULT_NEUTRAL`` / ``_SIM_ENTRY_POINTS`` tuples of strings).
+        #: ``_RESULT_NEUTRAL`` / ``_SIM_ENTRY_POINTS`` /
+        #: ``_THREAD_ENTRY_POINTS`` / ``_CONCURRENCY_SAFE`` tuples).
         self.result_neutral: Set[str] = set()
         self.entry_points: Set[str] = set()
+        self.thread_entry_points: Set[str] = set()
+        self.concurrency_safe: Set[str] = set()
         self._qual_cache: Dict[str, str] = {}
+        self._external_cache: Dict[str, bool] = {}
         self._analyzed = False
 
     # ------------------------------------------------------------------
@@ -284,8 +288,16 @@ class Project:
                 if isinstance(stmt.target, ast.Name):
                     self._maybe_registry(module, stmt.target.id, stmt.value)
 
+    _REGISTRIES = {
+        "_RESULT_NEUTRAL": "result_neutral",
+        "_SIM_ENTRY_POINTS": "entry_points",
+        "_THREAD_ENTRY_POINTS": "thread_entry_points",
+        "_CONCURRENCY_SAFE": "concurrency_safe",
+    }
+
     def _maybe_registry(self, module: str, name: str, value: ast.AST) -> None:
-        if name not in ("_RESULT_NEUTRAL", "_SIM_ENTRY_POINTS"):
+        attr = self._REGISTRIES.get(name)
+        if attr is None:
             return
         items: Set[str] = set()
         if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
@@ -294,10 +306,7 @@ class Project:
                 for elt in value.elts
                 if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
             }
-        if name == "_RESULT_NEUTRAL":
-            self.result_neutral |= items
-        else:
-            self.entry_points |= items
+        getattr(self, attr).update(items)
 
     def _add_function(
         self,
@@ -436,6 +445,11 @@ class Project:
                         resolved = self._resolve_class_call(qual)
                         if resolved:
                             return resolved
+                    # A call through an *external* module alias
+                    # (``np.load``, ``json.dump``) never dispatches to
+                    # project methods by name.
+                    if self._is_external(imported):
+                        return ()
             # recv.m(...): name-based resolution across all classes,
             # except names shadowed by builtin containers.
             if func.attr in BUILTIN_SHADOWED:
@@ -475,6 +489,22 @@ class Project:
         result = matches[0] if len(matches) == 1 else ""
         self._qual_cache[qual] = result
         return result or None
+
+    def _is_external(self, dotted: str) -> bool:
+        """Whether an imported dotted name points outside the project."""
+        cached = self._external_cache.get(dotted)
+        if cached is not None:
+            return cached
+        external = self._lookup(dotted) is None and not any(
+            dotted == known
+            or dotted.endswith("." + known)
+            or known.endswith("." + dotted)
+            or dotted.startswith(known + ".")
+            or known.startswith(dotted + ".")
+            for known in self.contexts
+        )
+        self._external_cache[dotted] = external
+        return external
 
     def _resolve_class_call(self, qual_cls: str) -> Tuple[str, ...]:
         """A class-name call resolves to its ``__init__`` if present."""

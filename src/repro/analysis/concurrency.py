@@ -1,0 +1,993 @@
+"""Concurrency-safety analysis: static race detection (R105-R108).
+
+PR 6 made the thread backend real: grid shards now run concurrently in
+one process, sharing process-wide mutable state (the stream-bank
+registries, the runner memo, per-bank block stores).  This module is
+the Eraser-style lockset discipline for that sharing, layered on the
+:mod:`repro.analysis.callgraph` project model the way the R104
+reachability rule is: find the code that can run on worker threads,
+find the objects it shares, and prove every write is guarded.
+
+The analysis proceeds in four steps:
+
+1. **Shared-state discovery** — module-level mutable containers
+   (``_BANKS = OrderedDict()``), class-level mutable attributes
+   (``class C: registry = {}``), and instances *published* into a
+   shared container (``_BANKS[fp] = StreamBank(...)`` marks
+   ``StreamBank`` thread-shared, so its ``self.*`` writes count too).
+   Locks are discovered the same way: module-level
+   ``threading.Lock()``-family constructions and ``self._lock = Lock()``
+   instance locks.
+2. **Thread-entry discovery** — functions handed to
+   ``ThreadPoolExecutor.submit`` or ``threading.Thread(target=...)``,
+   plus any module-level ``_THREAD_ENTRY_POINTS`` registry tuple
+   (mirroring R104's ``_SIM_ENTRY_POINTS``) and the defaults in
+   :data:`DEFAULT_THREAD_ENTRY_POINTS`.  Targets submitted to a
+   ``ProcessPoolExecutor`` bound in the same function are *not*
+   entries (processes do not share the heap).
+3. **Lockset construction** — a guard-domination walk over each
+   function's AST records, for every write/call/return site, the locks
+   lexically held via ``with <lock>:``; an interprocedural fixpoint
+   then computes, per function, the locks held on *every* call path
+   from a thread entry (meet = set intersection over call sites).
+4. **Rules** — R105 flags shared writes whose effective lockset
+   (lexical ∪ inherited) is empty; R106 flags objects guarded by
+   *different* locks at different sites; R107 flags references to
+   shared mutable state escaping via ``return`` without a copy; R108
+   flags lock-order inversions and blocking calls (I/O, sleep,
+   subprocess) made while holding a lock.
+
+Sanctioning: a line comment ``# lint: ignore[R105]`` (any of the four
+ids) suppresses one site; a module-level ``_CONCURRENCY_SAFE`` tuple of
+dotted-name fragments sanctions whole objects or functions — use it
+for state proven immutable-after-publish or protected by a documented
+read-only contract (the ``rng_from_state``-style annotation for this
+pass)::
+
+    _CONCURRENCY_SAFE = ("runner.run_benchmark", "streambank._BANKS")
+
+Known limits (deliberate, matching the callgraph's bias): writes
+through containers-of-containers are seen one level deep; instance
+locks are keyed per class, not per object, so two instances of one
+class are assumed to guard with their own lock consistently; nested
+``def`` bodies are skipped (lambdas are walked, because they are the
+idiom for inline callbacks executed under the caller's locks).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    BUILTIN_MUTATORS,
+    FunctionInfo,
+    Project,
+    _attr_chain,
+)
+
+#: Thread entry points assumed even without a registry entry: the
+#: thread-backend shard worker, the bank factory (callable from any
+#: user thread), and the public run API the ``repro serve`` dispatcher
+#: will drive from worker threads.
+DEFAULT_THREAD_ENTRY_POINTS: Tuple[str, ...] = (
+    "parallel._pool_execute",
+    "streambank.get_stream_bank",
+    "runner.run_benchmark",
+)
+
+#: Constructors whose results are locks (last dotted segment).
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Constructors whose results are shared-mutable containers (last
+#: dotted segment).  Literals ({}, [], set/dict/list comprehensions)
+#: are recognised structurally.
+_CONTAINER_CTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "WeakKeyDictionary",
+        "WeakValueDictionary",
+    }
+)
+
+#: In-place mutators: the builtin set plus OrderedDict's own.
+_MUTATORS = frozenset(BUILTIN_MUTATORS | {"move_to_end"})
+
+#: Calls that copy their argument/receiver (a returned copy does not
+#: escape the lock).
+_COPIER_NAMES = frozenset(
+    {"dict", "list", "tuple", "set", "frozenset", "sorted", "str", "bytes"}
+)
+_COPIER_TAILS = frozenset({"copy", "deepcopy", "array", "tolist"})
+
+#: Accessor methods returning a *member* of their receiver (escape
+#: vector when the receiver is shared).
+_ACCESSOR_TAILS = frozenset({"get"})
+
+#: Blocking sinks for R108: exact dotted chains, chain prefixes, and
+#: bare callable names.
+_BLOCKING_CHAINS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.replace",
+        "os.makedirs",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.fsync",
+        "tempfile.mkstemp",
+        "shutil.rmtree",
+        "shutil.copy",
+        "shutil.copytree",
+        "np.save",
+        "np.load",
+        "numpy.save",
+        "numpy.load",
+        "pickle.dump",
+        "pickle.load",
+        "json.dump",
+        "json.load",
+    }
+)
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.", "http.")
+_BLOCKING_NAMES = frozenset({"open", "input"})
+
+#: A canonical lock: ("module", module, name) or ("instance",
+#: class qualname, attr).
+Lock = Tuple[str, str, str]
+
+
+def lock_label(lock: Lock) -> str:
+    """Short ``owner.name`` form for messages (stable across roots)."""
+    kind, owner, name = lock
+    return f"{owner.split('.')[-1]}.{name}"
+
+
+@dataclass(frozen=True)
+class SharedObject:
+    """One process-wide mutable object the thread cone may touch."""
+
+    kind: str  # "module" | "class-attr" | "instance-attr"
+    owner: str  # module name, or class qualname
+    name: str  # variable / attribute name
+
+    @property
+    def qualname(self) -> str:
+        """Full dotted id (for ``_CONCURRENCY_SAFE`` matching)."""
+        return f"{self.owner}.{self.name}"
+
+    @property
+    def label(self) -> str:
+        """Short ``owner.name`` form for messages."""
+        return f"{self.owner.split('.')[-1]}.{self.name}"
+
+
+@dataclass(frozen=True)
+class _Event:
+    """One interesting site in a function, with its lexical lockset."""
+
+    kind: str  # "write" | "return" | "block" | "acquire"
+    func: str  # qualname
+    node_line: int
+    node_col: int
+    locks: FrozenSet[Lock]
+    obj: Optional[SharedObject] = None  # write / return
+    chain: str = ""  # block: the blocking call chain
+    lock: Optional[Lock] = None  # acquire: the lock taken
+
+
+def _covers(fragment: str, qualname: str) -> bool:
+    """Whether a dotted fragment is a contiguous segment of a qualname."""
+    return f".{fragment}." in f".{qualname}."
+
+
+def _short_qual(qualname: str) -> str:
+    return ".".join(qualname.split(".")[-2:])
+
+
+def render_chain(chain: Sequence[str]) -> str:
+    """``entry -> ... -> func`` with short qualified names."""
+    return " -> ".join(_short_qual(q) for q in chain)
+
+
+def _is_mutable_value(value: ast.AST) -> bool:
+    """Whether a module/class-level assignment creates a mutable container."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        chain = _attr_chain(value.func)
+        if chain is not None and chain.split(".")[-1] in _CONTAINER_CTORS:
+            return True
+    return False
+
+
+def _is_lock_value(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    chain = _attr_chain(value.func)
+    return chain is not None and chain.split(".")[-1] in _LOCK_CTORS
+
+
+def _is_blocking_chain(chain: str) -> bool:
+    if chain in _BLOCKING_CHAINS or chain in _BLOCKING_NAMES:
+        return True
+    return chain.startswith(_BLOCKING_PREFIXES)
+
+
+class ConcurrencyModel:
+    """Shared objects, locks, thread entries and per-site locksets."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        project.analyze()
+        #: (module, name) -> SharedObject for module-level containers.
+        self.module_shared: Dict[Tuple[str, str], SharedObject] = {}
+        #: (class qualname, attr) -> SharedObject for class-level ones.
+        self.class_shared: Dict[Tuple[str, str], SharedObject] = {}
+        #: (module, name) and (class qualname, attr) lock declarations.
+        self.module_locks: Set[Tuple[str, str]] = set()
+        self.instance_locks: Set[Tuple[str, str]] = set()
+        #: Class qualnames published into shared containers.
+        self.shared_classes: Set[str] = set()
+        #: Objects written by *any* project function (R107 only cares
+        #: about state that is actually mutated post-import).
+        self.written_objects: Set[SharedObject] = set()
+        self.entries: List[str] = []
+        self.chains: Dict[str, Tuple[str, ...]] = {}
+        self.events: Dict[str, List[_Event]] = {}
+        #: id(call node) -> lexical lockset at that call site.
+        self._call_locks: Dict[int, FrozenSet[Lock]] = {}
+        self.held: Dict[str, Optional[FrozenSet[Lock]]] = {}
+        self._module_cache: Dict[str, Optional[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        self._discover_declarations()
+        self._discover_instance_locks()
+        self._discover_publications()
+        submit_entries = self._scan_functions()
+        self._resolve_entries(submit_entries)
+        self.chains = self.project.reachable_from(self.entries)
+        self._held_fixpoint()
+
+    def _discover_declarations(self) -> None:
+        """Module- and class-level containers and module locks."""
+        for module, ctx in self.project.contexts.items():
+            for stmt in ctx.tree.body:
+                for name, value in _declared(stmt):
+                    if _is_lock_value(value):
+                        self.module_locks.add((module, name))
+                    elif _is_mutable_value(value):
+                        self.module_shared[(module, name)] = SharedObject(
+                            "module", module, name
+                        )
+                if isinstance(stmt, ast.ClassDef):
+                    class_qual = f"{module}.{stmt.name}"
+                    for sub in stmt.body:
+                        for name, value in _declared(sub):
+                            if _is_mutable_value(value):
+                                self.class_shared[(class_qual, name)] = (
+                                    SharedObject("class-attr", class_qual, name)
+                                )
+
+    def _discover_instance_locks(self) -> None:
+        """``self.X = threading.Lock()``-style per-instance locks."""
+        for info in self.project.functions.values():
+            if info.class_name is None or not info.params:
+                continue
+            class_qual = f"{info.module}.{info.class_name}"
+            receiver = info.params[0]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == receiver
+                        and _is_lock_value(node.value)
+                    ):
+                        self.instance_locks.add((class_qual, target.attr))
+
+    def _discover_publications(self) -> None:
+        """Classes whose instances are published into shared containers.
+
+        A separate light pass over assignment statements, run *before*
+        the event scan: ``self.*`` writes inside a class's methods only
+        count as shared once the class is known to be published
+        (``bank = StreamBank(...)`` then ``_BANKS[fp] = bank``), and
+        the publishing function may well be scanned after the methods.
+        """
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            assigns = [
+                node
+                for node in ast.walk(info.node)
+                if isinstance(node, ast.Assign)
+            ]
+            ctor_types: Dict[str, str] = {}
+            for node in assigns:
+                if (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    chain = _attr_chain(node.value.func)
+                    qual = (
+                        self.class_for(info, chain)
+                        if chain is not None
+                        else None
+                    )
+                    if qual is not None:
+                        ctor_types[node.targets[0].id] = qual
+            for node in assigns:
+                for target in node.targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    obj = self.shared_for_path(info, target.value, False)
+                    if obj is None:
+                        continue
+                    value = node.value
+                    qual = None
+                    if isinstance(value, ast.Name):
+                        qual = ctor_types.get(value.id)
+                    elif isinstance(value, ast.Call):
+                        chain = _attr_chain(value.func)
+                        if chain is not None:
+                            qual = self.class_for(info, chain)
+                    if qual is not None:
+                        self.shared_classes.add(qual)
+
+    def class_for(self, info: FunctionInfo, chain: str) -> Optional[str]:
+        """Project class qualname a constructor call chain names."""
+        project = self.project
+        head, _, rest = chain.partition(".")
+        symbol = project.module_symbols.get(info.module, {}).get(head)
+        if symbol is None:
+            symbol = project.imports.get(info.module, {}).get(head)
+        if symbol is None:
+            return None
+        if rest:
+            symbol = f"{symbol}.{rest}"
+        symbol = project._lookup(symbol) or symbol
+        return symbol if symbol in project.classes else None
+
+    def shared_for_path(
+        self, info: FunctionInfo, expr: ast.AST, writing: bool
+    ) -> Optional[SharedObject]:
+        """Resolve an attribute/subscript path to the shared object it
+        touches, or ``None`` for local/fresh/unshared state."""
+        path: List[str] = []
+        node = expr
+        is_attr_target = isinstance(expr, ast.Attribute)
+        while True:
+            if isinstance(node, ast.Attribute):
+                path.append(node.attr)
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Name):
+                break
+            else:
+                return None
+        path.reverse()
+        name = node.id
+        module = info.module
+        # self.<attr>...
+        if info.params and name == info.params[0] and info.class_name:
+            if not path:
+                return None
+            class_qual = f"{module}.{info.class_name}"
+            attr = path[0]
+            if (class_qual, attr) in self.instance_locks:
+                return None
+            class_obj = self.class_shared.get((class_qual, attr))
+            if class_obj is not None:
+                # ``self.X[k] = v`` mutates the class-level container;
+                # ``self.X = v`` creates an instance attribute instead.
+                if writing and is_attr_target and len(path) == 1:
+                    return None
+                return class_obj
+            if class_qual in self.shared_classes:
+                if info.name == "__init__":
+                    return None  # not yet published
+                return SharedObject("instance-attr", class_qual, attr)
+            return None
+        # Module-level container in this module.
+        obj = self.module_shared.get((module, name))
+        if obj is not None:
+            return obj
+        imported = self.project.imports.get(module, {}).get(name)
+        if imported is not None:
+            # ``from mod import _CACHE`` -> the name IS the container.
+            mod_part, _, item = imported.rpartition(".")
+            owner = self.resolve_module(mod_part)
+            if owner is not None:
+                obj = self.module_shared.get((owner, item))
+                if obj is not None:
+                    return obj
+            # ``import mod`` / ``from pkg import mod`` -> mod._CACHE.
+            owner = self.resolve_module(imported)
+            if owner is not None and path:
+                obj = self.module_shared.get((owner, path[0]))
+                if obj is not None:
+                    # Rebinding mod.X replaces the module global: still
+                    # a shared write; deeper paths and subscripts too.
+                    return obj
+        # ClassName.attr for class-level containers.
+        symbol = self.project.module_symbols.get(module, {}).get(name)
+        if symbol is not None and path:
+            obj = self.class_shared.get((symbol, path[0]))
+            if obj is not None:
+                return obj
+        return None
+
+    def _scan_functions(self) -> List[Tuple[str, ast.AST]]:
+        """Per-function event scan; returns raw thread-entry targets."""
+        submit_targets: List[Tuple[str, ast.AST]] = []
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            scan = _FunctionWalk(self, info)
+            scan.run()
+            self.events[qualname] = scan.events
+            self._call_locks.update(scan.call_locks)
+            submit_targets.extend(scan.submit_targets)
+            for event in scan.events:
+                if event.kind == "write" and event.obj is not None:
+                    self.written_objects.add(event.obj)
+        return submit_targets
+
+    def _resolve_entries(self, submit_targets: List[Tuple[str, ast.AST]]) -> None:
+        """Submit/Thread targets + registry fragments + defaults."""
+        entries: Set[str] = set()
+        for module, target in submit_targets:
+            qual = self._resolve_callable(module, target)
+            if qual is not None:
+                entries.add(qual)
+        fragments = tuple(DEFAULT_THREAD_ENTRY_POINTS) + tuple(
+            sorted(self.project.thread_entry_points)
+        )
+        for qualname in self.project.functions:
+            if any(_covers(f, qualname) for f in fragments):
+                entries.add(qualname)
+        self.entries = sorted(entries)
+
+    def _resolve_callable(self, module: str, node: ast.AST) -> Optional[str]:
+        """Map a submitted callable expression to a project qualname."""
+        if isinstance(node, ast.Name):
+            local = self.project.module_symbols.get(module, {}).get(node.id)
+            if local is None:
+                local = self.project.imports.get(module, {}).get(node.id)
+            if local is None:
+                return None
+            local = self.project._lookup(local) or local
+            return local if local in self.project.functions else None
+        chain = _attr_chain(node)
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        imported = self.project.imports.get(module, {}).get(head)
+        if imported is not None and rest:
+            qual = self.project._lookup(f"{imported}.{rest}")
+            if qual in self.project.functions:
+                return qual
+        # self.method / Class.method submitted: resolve by method name.
+        tail = chain.split(".")[-1]
+        candidates = self.project.methods_by_name.get(tail, ())
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _held_fixpoint(self) -> None:
+        """Locks held on *every* path from a thread entry, per function."""
+        self.held = {q: None for q in self.chains}
+        for entry in self.entries:
+            if entry in self.held:
+                self.held[entry] = frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for caller in self.chains:
+                held = self.held.get(caller)
+                if held is None:
+                    continue
+                info = self.project.functions[caller]
+                for call, candidates in info.calls:
+                    site = held | self._call_locks.get(id(call), frozenset())
+                    for callee in candidates:
+                        if callee not in self.held or callee in self.entries:
+                            continue
+                        current = self.held[callee]
+                        merged = site if current is None else current & site
+                        if merged != current:
+                            self.held[callee] = merged
+                            changed = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve_module(self, dotted: str) -> Optional[str]:
+        """Map an imported module path onto an indexed module name."""
+        if dotted in self.project.contexts:
+            return dotted
+        cached = self._module_cache.get(dotted)
+        if cached is not None or dotted in self._module_cache:
+            return cached
+        matches = [
+            known
+            for known in self.project.contexts
+            if dotted.endswith("." + known) or known.endswith("." + dotted)
+        ]
+        result = matches[0] if len(matches) == 1 else None
+        self._module_cache[dotted] = result
+        return result
+
+    def effective_locks(self, event: _Event) -> FrozenSet[Lock]:
+        """Lexical locks at the site plus locks inherited from callers."""
+        inherited = self.held.get(event.func) or frozenset()
+        return event.locks | inherited
+
+    def in_cone(self, qualname: str) -> bool:
+        return qualname in self.chains
+
+    def is_safe(self, *names: str) -> bool:
+        """Whether any name matches a ``_CONCURRENCY_SAFE`` fragment."""
+        fragments = self.project.concurrency_safe
+        return any(
+            _covers(fragment, name)
+            for fragment in fragments
+            for name in names
+        )
+
+    def cone_events(self, kind: str) -> Iterator[_Event]:
+        for qualname in sorted(self.chains):
+            for event in self.events.get(qualname, ()):
+                if event.kind == kind:
+                    yield event
+
+    def describe(self) -> str:
+        """Human-readable model dump (the ``--explain`` payload)."""
+        lines = ["thread entry points:"]
+        for entry in self.entries or ["  (none found)"]:
+            if entry in self.project.functions:
+                lines.append(f"  {entry}")
+        lines.append("shared objects (written on a thread path):")
+        locksets = self.object_locksets()
+        shown = False
+        for obj in sorted(self.written_objects, key=lambda o: o.qualname):
+            sets = locksets.get(obj)
+            if sets is None:
+                continue
+            shown = True
+            names = sorted({lock_label(l) for s in sets for l in s})
+            guard = ", ".join(names) if names else "UNGUARDED"
+            lines.append(f"  {obj.label}  [{obj.kind}]  locks: {guard}")
+        if not shown:
+            lines.append("  (none)")
+        return "\n".join(lines)
+
+    def object_locksets(self) -> Dict[SharedObject, List[FrozenSet[Lock]]]:
+        """Effective lockset of every in-cone write, grouped by object."""
+        grouped: Dict[SharedObject, List[FrozenSet[Lock]]] = {}
+        for event in self.cone_events("write"):
+            grouped.setdefault(event.obj, []).append(
+                self.effective_locks(event)
+            )
+        return grouped
+
+
+def _declared(stmt: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """(name, value) pairs declared by a module/class-level statement."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        if isinstance(stmt.targets[0], ast.Name):
+            yield stmt.targets[0].id, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, stmt.value
+
+
+class _FunctionWalk:
+    """Guard-domination walk of one function body.
+
+    Records write/return/blocking/acquire events with the lexical
+    lockset at each site, the lockset at every call site (for the
+    interprocedural fixpoint), publications of constructed instances
+    into shared containers, and raw thread-entry targets.
+    """
+
+    def __init__(self, model: ConcurrencyModel, info: FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        self.events: List[_Event] = []
+        self.call_locks: Dict[int, FrozenSet[Lock]] = {}
+        self.submit_targets: List[Tuple[str, ast.AST]] = []
+        #: Local constructor types: name -> class qualname.
+        #: Names bound to process pools (their submits are not threads).
+        self._process_pools: Set[str] = set()
+        #: Sequential alias map: name -> SharedObject reference.
+        self._ref_aliases: Dict[str, Optional[SharedObject]] = {}
+
+    def run(self) -> None:
+        for stmt in getattr(self.info.node, "body", []):
+            self._walk(stmt, frozenset())
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def _walk(self, node: ast.AST, locks: FrozenSet[Lock]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions run in unknown lock contexts
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[Lock] = set()
+            for item in node.items:
+                self._walk(item.context_expr, locks)
+                lock = self._resolve_lock(item.context_expr)
+                if lock is not None:
+                    self._event("acquire", node, locks, lock=lock)
+                    acquired.add(lock)
+            inner = locks | acquired
+            for stmt in node.body:
+                self._walk(stmt, inner)
+            return
+        self._visit(node, locks)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, locks)
+
+    def _visit(self, node: ast.AST, locks: FrozenSet[Lock]) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._write_target(target, node, locks)
+            self._note_aliases(node)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if not (isinstance(node, ast.AnnAssign) and node.value is None):
+                self._write_target(node.target, node, locks)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._write_target(target, node, locks)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node, locks)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            self._visit_return(node, locks)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _write_target(
+        self, target: ast.AST, node: ast.AST, locks: FrozenSet[Lock]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._write_target(elt, node, locks)
+            return
+        if isinstance(target, ast.Starred):
+            self._write_target(target.value, node, locks)
+            return
+        if isinstance(target, ast.Name):
+            # Rebinding a module-level shared name needs ``global``.
+            if target.id in self.info.global_names:
+                obj = self.model.module_shared.get(
+                    (self.info.module, target.id)
+                )
+                if obj is not None:
+                    self._event("write", node, locks, obj=obj)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            obj = self._shared_for_path(target, writing=True)
+            if obj is not None:
+                self._event("write", node, locks, obj=obj)
+
+    def _shared_for_path(
+        self, expr: ast.AST, writing: bool
+    ) -> Optional[SharedObject]:
+        return self.model.shared_for_path(self.info, expr, writing)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _visit_call(self, call: ast.Call, locks: FrozenSet[Lock]) -> None:
+        self.call_locks[id(call)] = locks
+        func = call.func
+        chain = _attr_chain(func)
+        # Mutator methods write their receiver.
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            obj = self._shared_for_path(func.value, writing=False)
+            if obj is None and isinstance(func.value, ast.Name):
+                obj = self._ref_aliases.get(func.value.id)
+            if obj is not None:
+                self._event("write", call, locks, obj=obj)
+        # Blocking sinks under a lock.
+        if chain is not None and _is_blocking_chain(chain):
+            self._event("block", call, locks, chain=chain)
+        elif isinstance(func, ast.Name) and func.id in _BLOCKING_NAMES:
+            self._event("block", call, locks, chain=func.id)
+        # Thread-entry targets: pool.submit(f, ...) / Thread(target=f).
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "submit"
+            and call.args
+        ):
+            receiver = func.value
+            if not (
+                isinstance(receiver, ast.Name)
+                and receiver.id in self._process_pools
+            ):
+                self.submit_targets.append((self.info.module, call.args[0]))
+        if chain is not None and chain.split(".")[-1] == "Thread":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    self.submit_targets.append(
+                        (self.info.module, keyword.value)
+                    )
+
+    # ------------------------------------------------------------------
+    # Aliases / publication
+    # ------------------------------------------------------------------
+    def _note_aliases(self, node: ast.Assign) -> None:
+        """Track, in statement order, locals naming shared references
+        and process pools."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        self._ref_aliases[name] = self._reference_root(value)
+        self._process_pools.discard(name)
+        if isinstance(value, ast.Call):
+            chain = _attr_chain(value.func)
+            if chain is not None and chain.split(".")[-1] == "ProcessPoolExecutor":
+                self._process_pools.add(name)
+
+    def _reference_root(self, expr: ast.AST) -> Optional[SharedObject]:
+        """Shared object an expression references (escape tracking)."""
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute) and func.attr in _ACCESSOR_TAILS:
+                return self._reference_root(func.value)
+            return None  # fresh object (copies included)
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            obj = self._shared_for_path(expr, writing=False)
+            if obj is not None:
+                return obj
+            # Walk down to a possible aliased root name.
+            node = expr
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                node = node.value
+            if isinstance(node, ast.Name):
+                return self._ref_aliases.get(node.id)
+            return None
+        if isinstance(expr, ast.Name):
+            obj = self._shared_for_path(expr, writing=False)
+            if obj is not None:
+                return obj
+            return self._ref_aliases.get(expr.id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Returns
+    # ------------------------------------------------------------------
+    def _visit_return(self, node: ast.Return, locks: FrozenSet[Lock]) -> None:
+        values = (
+            node.value.elts
+            if isinstance(node.value, ast.Tuple)
+            else [node.value]
+        )
+        for value in values:
+            if self._is_copy(value):
+                continue
+            obj = self._reference_root(value)
+            if obj is not None:
+                self._event("return", node, locks, obj=obj)
+
+    @staticmethod
+    def _is_copy(expr: ast.AST) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in _COPIER_NAMES:
+            return True
+        chain = _attr_chain(func)
+        return chain is not None and chain.split(".")[-1] in _COPIER_TAILS
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+    def _resolve_lock(self, expr: ast.AST) -> Optional[Lock]:
+        info = self.info
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            # self._lock
+            if (
+                info.params
+                and expr.value.id == info.params[0]
+                and info.class_name is not None
+            ):
+                class_qual = f"{info.module}.{info.class_name}"
+                if (class_qual, expr.attr) in self.model.instance_locks:
+                    return ("instance", class_qual, expr.attr)
+            # mod._LOCK via an imported module name.
+            imported = self.model.project.imports.get(info.module, {}).get(
+                expr.value.id
+            )
+            if imported is not None:
+                owner = self.model.resolve_module(imported)
+                if owner is not None and (owner, expr.attr) in self.model.module_locks:
+                    return ("module", owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if (info.module, name) in self.model.module_locks:
+                return ("module", info.module, name)
+            # local alias of self._lock
+            alias = info.aliases.get(name)
+            if (
+                alias is not None
+                and info.params
+                and alias[0] == info.params[0]
+                and len(alias[1]) == 1
+                and info.class_name is not None
+            ):
+                class_qual = f"{info.module}.{info.class_name}"
+                if (class_qual, alias[1][0]) in self.model.instance_locks:
+                    return ("instance", class_qual, alias[1][0])
+            # from mod import _LOCK
+            imported = self.model.project.imports.get(info.module, {}).get(name)
+            if imported is not None:
+                mod_part, _, item = imported.rpartition(".")
+                owner = self.model.resolve_module(mod_part)
+                if owner is not None and (owner, item) in self.model.module_locks:
+                    return ("module", owner, item)
+        return None
+
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, node: ast.AST, locks: FrozenSet[Lock],
+               obj: Optional[SharedObject] = None, chain: str = "",
+               lock: Optional[Lock] = None) -> None:
+        self.events.append(
+            _Event(
+                kind=kind,
+                func=self.info.qualname,
+                node_line=getattr(node, "lineno", 0),
+                node_col=getattr(node, "col_offset", 0),
+                locks=locks,
+                obj=obj,
+                chain=chain,
+                lock=lock,
+            )
+        )
+
+
+def concurrency_model(project: Project) -> ConcurrencyModel:
+    """One cached :class:`ConcurrencyModel` per analyzed project."""
+    cached = getattr(project, "_concurrency_model", None)
+    if cached is None:
+        cached = ConcurrencyModel(project)
+        project._concurrency_model = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Rule drivers (wrapped into DeepRule subclasses by analysis.deep)
+# ----------------------------------------------------------------------
+def _locked_names(locks: FrozenSet[Lock]) -> Tuple[str, ...]:
+    return tuple(sorted(lock_label(lock) for lock in locks))
+
+
+def check_unguarded_writes(model: ConcurrencyModel):
+    """R105: shared writes on a thread path with an empty lockset."""
+    for event in model.cone_events("write"):
+        if model.effective_locks(event):
+            continue
+        if model.is_safe(event.obj.qualname, event.func):
+            continue
+        chain = model.chains.get(event.func, (event.func,))
+        yield event, (
+            f"unguarded write to shared {event.obj.label} in "
+            f"{_short_qual(event.func)}() reachable from thread entry via "
+            f"{render_chain(chain)}; hold a lock around the write or add a "
+            f"_CONCURRENCY_SAFE entry"
+        ), chain
+
+    # Guarded-but-inconsistent objects are R106's job.
+
+
+def check_lock_consistency(model: ConcurrencyModel):
+    """R106: one shared object guarded by different locks at different
+    sites (every writer must agree on a single lock)."""
+    by_object: Dict[SharedObject, List[Tuple[_Event, FrozenSet[Lock]]]] = {}
+    for event in model.cone_events("write"):
+        by_object.setdefault(event.obj, []).append(
+            (event, model.effective_locks(event))
+        )
+    for obj in sorted(by_object, key=lambda o: o.qualname):
+        guarded = [(e, s) for e, s in by_object[obj] if s]
+        if len(guarded) < 2:
+            continue
+        common = frozenset.intersection(*[s for _, s in guarded])
+        if common:
+            continue
+        if model.is_safe(obj.qualname):
+            continue
+        sites = sorted(
+            {
+                f"{', '.join(_locked_names(s))} in {_short_qual(e.func)}()"
+                for e, s in guarded
+            }
+        )
+        anchor = min(guarded, key=lambda pair: (pair[0].func, pair[0].node_line))
+        event = anchor[0]
+        chain = model.chains.get(event.func, (event.func,))
+        yield event, (
+            f"inconsistent locking for shared {obj.label}: guarded by "
+            f"{'; '.join(sites)} — every writer must hold one consistent "
+            f"lock"
+        ), chain
+
+
+def check_escapes(model: ConcurrencyModel):
+    """R107: references to shared mutable state escaping via return."""
+    for event in model.cone_events("return"):
+        obj = event.obj
+        if obj not in model.written_objects:
+            continue  # never mutated post-import: effectively frozen
+        if model.is_safe(obj.qualname, event.func):
+            continue
+        chain = model.chains.get(event.func, (event.func,))
+        yield event, (
+            f"{_short_qual(event.func)}() returns a reference into shared "
+            f"{obj.label}, which escapes its lock; return a copy (or a "
+            f"read-only view), or add a _CONCURRENCY_SAFE entry for the "
+            f"documented contract"
+        ), chain
+
+
+def check_lock_discipline(model: ConcurrencyModel):
+    """R108: lock-order inversions and blocking calls under a lock."""
+    # Acquisition-order edges: (held, acquired) -> first event.
+    edges: Dict[Tuple[Lock, Lock], _Event] = {}
+    for event in model.cone_events("acquire"):
+        prior = event.locks | (model.held.get(event.func) or frozenset())
+        for held_lock in prior:
+            if held_lock != event.lock:
+                edges.setdefault((held_lock, event.lock), event)
+    reported: Set[Tuple[Lock, Lock]] = set()
+    for (first, second), event in sorted(
+        edges.items(), key=lambda kv: (kv[1].func, kv[1].node_line)
+    ):
+        reverse = edges.get((second, first))
+        if reverse is None:
+            continue
+        key = tuple(sorted((first, second)))
+        if key in reported:
+            continue
+        reported.add(key)
+        chain = model.chains.get(event.func, (event.func,))
+        yield event, (
+            f"lock-order inversion: {_short_qual(event.func)}() acquires "
+            f"{lock_label(event.lock)} while holding "
+            f"{lock_label(first)}, but {_short_qual(reverse.func)}() "
+            f"acquires them in the opposite order; pick one global order"
+        ), chain
+    for event in model.cone_events("block"):
+        effective = model.effective_locks(event)
+        if not effective:
+            continue
+        if model.is_safe(event.func):
+            continue
+        chain = model.chains.get(event.func, (event.func,))
+        yield event, (
+            f"blocking call {event.chain}() while holding "
+            f"{', '.join(_locked_names(effective))} in "
+            f"{_short_qual(event.func)}(); move I/O and sleeps outside the "
+            f"critical section"
+        ), chain

@@ -25,7 +25,16 @@ import json
 import pathlib
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 #: Path components marking deterministic-simulation code, where the
 #: ordering/float rules (R003, R005) and wall-clock bans (R002) apply.
@@ -44,13 +53,22 @@ _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
 
 @dataclass(frozen=True)
 class Finding:
-    """One linter hit: a rule violation at a source location."""
+    """One linter hit: a rule violation at a source location.
+
+    The concurrency rules (R105-R108) additionally carry the inferred
+    entry-point call ``chain`` and the effective ``lockset`` at the
+    site; both stay empty for every other rule and are only serialised
+    when present, so the original JSON schema is unchanged for the
+    rules that predate them.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    chain: Tuple[str, ...] = ()
+    lockset: Tuple[str, ...] = ()
 
     def format_text(self) -> str:
         """``path:line:col: RULE message`` (editor-clickable)."""
@@ -58,13 +76,18 @@ class Finding:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form for ``--format json`` and CI."""
-        return {
+        payload: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        if self.lockset:
+            payload["lockset"] = list(self.lockset)
+        return payload
 
 
 class FileContext:
@@ -113,7 +136,14 @@ class FileContext:
         rules = self._suppressed[lineno]
         return rules is None or rule_id in rules
 
-    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        chain: Tuple[str, ...] = (),
+        lockset: Tuple[str, ...] = (),
+    ) -> Finding:
         """Build a :class:`Finding` anchored at an AST node."""
         return Finding(
             rule=rule_id,
@@ -121,6 +151,8 @@ class FileContext:
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            chain=chain,
+            lockset=lockset,
         )
 
 

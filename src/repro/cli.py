@@ -105,7 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cmd = sub.add_parser(
         "lint",
-        help="run the determinism linter (R001-R005; --deep adds R101-R104)",
+        help="run the determinism linter (R001-R005; --deep adds R101-R108)",
     )
     lint_cmd.add_argument(
         "paths",
@@ -123,8 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument(
         "--deep",
         action="store_true",
-        help="also run the whole-program rules R101-R104 (call-graph"
-        " effect inference + units-of-measure checking)",
+        help="also run the whole-program rules R101-R108 (call-graph"
+        " effect inference, units-of-measure checking and the"
+        " concurrency-safety pass)",
+    )
+    lint_cmd.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a deep rule's rationale plus, for R105-R108, the"
+        " inferred thread entry points and per-object locksets"
+        " (implies --deep for R101-R108)",
     )
     lint_cmd.add_argument(
         "--baseline",
@@ -211,12 +220,23 @@ def _lint_main(args: argparse.Namespace) -> int:
         load_baseline,
         write_baseline,
     )
-    from repro.analysis.deep import deep_lint_paths
 
     fmt = args.lint_format
     if args.baseline_update and not args.baseline:
         print("error: --baseline-update requires --baseline", file=sys.stderr)
         return 2
+    explain = getattr(args, "explain", None)
+    if explain is not None:
+        from repro.analysis.deep import RULE_RATIONALE
+
+        if explain not in RULE_RATIONALE:
+            known = ", ".join(sorted(RULE_RATIONALE))
+            print(
+                f"error: unknown deep rule {explain!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        args.deep = True
     if args.paths:
         targets = [pathlib.Path(p) for p in args.paths]
     else:
@@ -225,11 +245,26 @@ def _lint_main(args: argparse.Namespace) -> int:
         targets = [pathlib.Path(repro.__file__).parent]
     findings = lint_paths(targets)
     if args.deep:
+        from repro.analysis.callgraph import Project
+        from repro.analysis.deep import deep_lint_project, explain_rule
+
         t0 = time.perf_counter()
-        findings = findings + deep_lint_paths(targets)
+        project = Project.from_paths(targets)
+        findings = findings + deep_lint_project(project)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         elapsed = time.perf_counter() - t0
         print(f"deep analysis: {elapsed:.2f}s", file=sys.stderr)
+        if explain is not None:
+            print(explain_rule(explain, project))
+            for finding in findings:
+                if finding.rule != explain:
+                    continue
+                print()
+                print(finding.format_text())
+                if finding.chain:
+                    print(f"  entry chain: {' -> '.join(finding.chain)}")
+                if finding.lockset:
+                    print(f"  lockset: {', '.join(finding.lockset)}")
     if args.baseline_update:
         write_baseline(pathlib.Path(args.baseline), findings)
         print(

@@ -205,8 +205,10 @@ class GridRunner:
             key = settings.cache_key(
                 spec.workload, machine, spec.policy, spec.backing_1g
             )
-            if key in _runner._CACHE:
-                hits[spec] = _runner._CACHE[key]
+            with _runner._MEMO_LOCK:
+                memoised = _runner._CACHE.get(key)
+            if memoised is not None:
+                hits[spec] = memoised
                 continue
             if store is not None:
                 cached = store.get(

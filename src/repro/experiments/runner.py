@@ -15,6 +15,7 @@ Batch drivers fan independent runs out over worker processes via
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -78,10 +79,24 @@ class RunSettings:
 
 _CACHE: Dict[Tuple, SimulationResult] = {}
 
+#: Serialises every ``_CACHE`` access: the thread backend's shards and
+#: any future ``repro serve`` worker share this memo, and an unguarded
+#: dict write from two shards is a data race (R105).  The memo stores
+#: finished, effectively-immutable results, so the critical sections
+#: are pure dict operations — never simulation work or disk I/O.
+_MEMO_LOCK = threading.Lock()
+
+#: The memo deliberately hands back the *same* ``SimulationResult``
+#: object for repeated identical runs (tests assert ``a is b``);
+#: results are frozen once stored, so the reference escaping the memo
+#: lock is safe (R107).
+_CONCURRENCY_SAFE = ("runner.run_benchmark",)
+
 
 def clear_cache() -> None:
     """Drop all in-process memoised run results."""
-    _CACHE.clear()
+    with _MEMO_LOCK:
+        _CACHE.clear()
 
 
 def canonical_machine(machine: Union[str, NumaTopology]) -> str:
@@ -128,7 +143,8 @@ def store_result(
 ) -> None:
     """Install a finished run into the memo (and optionally on disk)."""
     key = settings.cache_key(workload, machine, policy, backing_1g)
-    _CACHE[key] = result
+    with _MEMO_LOCK:
+        _CACHE[key] = result
     if persist and cache_enabled():
         ResultCache.default().put(
             settings.fingerprint(workload, machine, policy, backing_1g), result
@@ -156,8 +172,10 @@ def run_benchmark(
     if not use_cache:
         return execute_run(workload, topo, policy, settings, backing_1g)
     key = settings.cache_key(workload, topo.name, policy, backing_1g)
-    if key in _CACHE:
-        return _CACHE[key]
+    with _MEMO_LOCK:
+        cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
     result = None
     if cache_enabled():
         result = ResultCache.default().get(

@@ -1,0 +1,486 @@
+"""Fixture tests for the concurrency-safety rules R105-R108.
+
+Each rule gets at least two seeded violations plus a suppressed or
+negative case, following the R101-R104 fixture-test convention.
+Entry-point discovery (``pool.submit``, ``threading.Thread``, the
+``_THREAD_ENTRY_POINTS`` registry), the ``_CONCURRENCY_SAFE``
+sanctioning registry, shared-class publication, and the CLI contract
+(JSON schema, exit codes, ``--explain``) are covered at the end.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.deep import deep_lint_sources
+from repro.analysis.linter import format_findings
+from repro.cli import main
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# R105: unguarded writes to shared state on a thread path
+# ----------------------------------------------------------------------
+RACY_POOL = """\
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_LOCK = threading.Lock()
+_STATS = {}
+_MEMO = {}
+
+
+def dispatch(items):
+    with ThreadPoolExecutor() as pool:
+        for item in items:
+            pool.submit(worker, item)
+
+
+def worker(item):
+    _STATS[item] = 1
+    _MEMO.pop(item, None)
+    record(item)
+    hushed(item)
+
+
+def record(item):
+    with _LOCK:
+        _MEMO[item] = item
+
+
+def hushed(item):
+    _STATS[item] = 2  # lint: ignore[R105]
+"""
+
+
+def test_r105_fires_on_unguarded_writes():
+    findings = deep_lint_sources({"src/jobs/racy.py": RACY_POOL})
+    r105 = by_rule(findings, "R105")
+    assert len(r105) == 2, format_findings(findings)
+    messages = "\n".join(f.message for f in r105)
+    assert "_STATS" in messages and "_MEMO" in messages
+    assert "worker()" in messages
+    # The guarded write in record() and the suppressed one stay quiet.
+    assert all(f.line in (16, 17) for f in r105)
+
+
+def test_r105_findings_carry_entry_chain():
+    findings = deep_lint_sources({"src/jobs/racy.py": RACY_POOL})
+    for finding in by_rule(findings, "R105"):
+        assert finding.chain, finding
+        assert finding.chain[-1].endswith("worker")
+        assert finding.lockset == ()
+
+
+THREAD_ENTRY = """\
+import threading
+
+_TABLE = {}
+
+
+def spawn():
+    thread = threading.Thread(target=loop)
+    thread.start()
+
+
+def loop():
+    _TABLE["tick"] = 1
+"""
+
+
+def test_r105_thread_target_is_an_entry():
+    findings = deep_lint_sources({"src/jobs/spawn.py": THREAD_ENTRY})
+    r105 = by_rule(findings, "R105")
+    assert len(r105) == 1, format_findings(findings)
+    assert "loop()" in r105[0].message
+
+
+PROCESS_POOL = """\
+from concurrent.futures import ProcessPoolExecutor
+
+_TABLE = {}
+
+
+def dispatch(items):
+    pool = ProcessPoolExecutor()
+    for item in items:
+        pool.submit(worker, item)
+
+
+def worker(item):
+    _TABLE[item] = 1
+"""
+
+
+def test_r105_process_pool_workers_are_not_thread_entries():
+    findings = deep_lint_sources({"src/jobs/procs.py": PROCESS_POOL})
+    assert by_rule(findings, "R105") == [], format_findings(findings)
+
+
+REGISTERED = """\
+_JOBS = []
+_THREAD_ENTRY_POINTS = ("daemon_loop",)
+
+
+def daemon_loop():
+    _JOBS.append(1)
+"""
+
+
+def test_r105_entry_point_registry_extends_roots():
+    findings = deep_lint_sources({"src/jobs/daemon.py": REGISTERED})
+    r105 = by_rule(findings, "R105")
+    assert len(r105) == 1, format_findings(findings)
+    assert "_JOBS" in r105[0].message
+
+
+SANCTIONED = """\
+_COUNTS = {}
+_CONCURRENCY_SAFE = ("tally",)
+_THREAD_ENTRY_POINTS = ("tally",)
+
+
+def tally(key):
+    _COUNTS[key] = 1
+"""
+
+
+def test_r105_concurrency_safe_registry_sanctions():
+    findings = deep_lint_sources({"src/jobs/tally.py": SANCTIONED})
+    assert by_rule(findings, "R105") == [], format_findings(findings)
+
+
+PUBLISHED = """\
+import threading
+
+_LOCK = threading.Lock()
+_REGISTRY = {}
+
+
+def start(pool, name):
+    pool.submit(tick, name)
+
+
+def get_bank(name):
+    with _LOCK:
+        bank = _REGISTRY.get(name)
+        if bank is None:
+            bank = Bank(name)
+            _REGISTRY[name] = bank
+        return bank
+
+
+def tick(name):
+    bank = get_bank(name)
+    bank.note(name)
+    bank.safe_note(name)
+
+
+class Bank:
+    def __init__(self, name):
+        self.name = name
+        self._lock = threading.Lock()
+        self.counts = {}
+
+    def note(self, key):
+        self.counts[key] = 1
+
+    def safe_note(self, key):
+        with self._lock:
+            self.counts[key] = 2
+"""
+
+
+def test_r105_published_instances_share_their_attributes():
+    """``_REGISTRY[name] = Bank(...)`` publishes Bank: its unguarded
+    instance-attribute writes count; ``__init__`` and guarded ones
+    don't."""
+    findings = deep_lint_sources({"src/jobs/banks.py": PUBLISHED})
+    r105 = by_rule(findings, "R105")
+    assert len(r105) == 1, format_findings(findings)
+    assert "note()" in r105[0].message
+    assert "counts" in r105[0].message
+
+
+CLASS_ATTR = """\
+import threading
+
+_LOCK = threading.Lock()
+_THREAD_ENTRY_POINTS = ("bump", "bump_safe")
+
+
+class Counter:
+    totals = {}
+
+
+def bump(key):
+    Counter.totals[key] = 1
+
+
+def bump_safe(key):
+    with _LOCK:
+        Counter.totals[key] = 2
+"""
+
+
+def test_r105_class_level_containers_are_shared():
+    findings = deep_lint_sources({"src/jobs/klass.py": CLASS_ATTR})
+    r105 = by_rule(findings, "R105")
+    assert len(r105) == 1, format_findings(findings)
+    assert "bump()" in r105[0].message
+
+
+# ----------------------------------------------------------------------
+# R106: inconsistent lock choice across writers
+# ----------------------------------------------------------------------
+MIXED_LOCKS = """\
+import threading
+
+_A = threading.Lock()
+_B = threading.Lock()
+_TABLE = {}
+_QUEUE = []
+_SAFE = {}
+_THREAD_ENTRY_POINTS = ("writer_a", "writer_b")
+
+
+def writer_a(key):
+    with _A:
+        _TABLE[key] = 1
+        _QUEUE.append(key)
+        _SAFE[key] = 1
+
+
+def writer_b(key):
+    with _B:
+        _TABLE[key] = 2
+        _QUEUE.append(key)
+    with _A:
+        _SAFE[key] = 2
+"""
+
+
+def test_r106_fires_on_mixed_locks():
+    findings = deep_lint_sources({"src/jobs/mixed.py": MIXED_LOCKS})
+    r106 = by_rule(findings, "R106")
+    assert len(r106) == 2, format_findings(findings)
+    messages = "\n".join(f.message for f in r106)
+    assert "_TABLE" in messages and "_QUEUE" in messages
+    assert "_SAFE" not in messages  # consistently under _A
+    assert by_rule(findings, "R105") == []  # every write is guarded
+
+
+def test_r106_findings_carry_locksets():
+    findings = deep_lint_sources({"src/jobs/mixed.py": MIXED_LOCKS})
+    for finding in by_rule(findings, "R106"):
+        assert finding.lockset, finding
+
+
+# ----------------------------------------------------------------------
+# R107: locked state escaping via return
+# ----------------------------------------------------------------------
+ESCAPES = """\
+import threading
+
+_LOCK = threading.Lock()
+_REGISTRY = {}
+_THREAD_ENTRY_POINTS = ("handle",)
+
+
+def handle(item):
+    with _LOCK:
+        _REGISTRY[item] = [item]
+    leak()
+    peek(item)
+    snapshot()
+    hushed()
+
+
+def leak():
+    with _LOCK:
+        return _REGISTRY
+
+
+def peek(item):
+    with _LOCK:
+        return _REGISTRY.get(item)
+
+
+def snapshot():
+    with _LOCK:
+        return dict(_REGISTRY)
+
+
+def hushed():
+    with _LOCK:
+        return _REGISTRY  # lint: ignore[R107]
+"""
+
+
+def test_r107_fires_on_escaping_references():
+    findings = deep_lint_sources({"src/jobs/escape.py": ESCAPES})
+    r107 = by_rule(findings, "R107")
+    assert len(r107) == 2, format_findings(findings)
+    messages = "\n".join(f.message for f in r107)
+    assert "leak()" in messages
+    assert "peek()" in messages  # .get hands out the stored reference
+    assert "snapshot()" not in messages  # dict(...) is a copy
+
+
+FROZEN = """\
+import threading
+
+_LOCK = threading.Lock()
+_BY_NAME = {"a": 1}
+_THREAD_ENTRY_POINTS = ("lookup",)
+
+
+def lookup(name):
+    with _LOCK:
+        return _BY_NAME
+"""
+
+
+def test_r107_ignores_import_time_frozen_registries():
+    """Containers never written by any function are effectively frozen:
+    handing out a reference cannot race."""
+    findings = deep_lint_sources({"src/jobs/frozen.py": FROZEN})
+    assert by_rule(findings, "R107") == [], format_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# R108: lock-order inversions and blocking calls under a lock
+# ----------------------------------------------------------------------
+DISCIPLINE = """\
+import subprocess
+import threading
+import time
+
+_A = threading.Lock()
+_B = threading.Lock()
+_THREAD_ENTRY_POINTS = ("refresh", "flush")
+
+
+def refresh():
+    with _A:
+        with _B:
+            tick()
+    with _A:
+        time.sleep(0.1)
+    quiet()
+
+
+def flush():
+    with _B:
+        with _A:
+            subprocess.run(["true"])
+
+
+def tick():
+    return None
+
+
+def quiet():
+    with _A:
+        time.sleep(0.1)  # lint: ignore[R108]
+"""
+
+
+def test_r108_fires_on_inversions_and_blocking_calls():
+    findings = deep_lint_sources({"src/jobs/order.py": DISCIPLINE})
+    r108 = by_rule(findings, "R108")
+    assert len(r108) == 3, format_findings(findings)
+    messages = "\n".join(f.message for f in r108)
+    assert "lock-order inversion" in messages
+    assert "time.sleep" in messages
+    assert "subprocess.run" in messages
+    inversions = [f for f in r108 if "inversion" in f.message]
+    assert len(inversions) == 1  # one report per lock pair
+
+
+def test_r108_sees_locks_held_across_calls():
+    """``subprocess.run`` fires with both _B and _A: the interprocedural
+    lockset, not just the lexical one."""
+    findings = deep_lint_sources({"src/jobs/order.py": DISCIPLINE})
+    blocked = [
+        f for f in by_rule(findings, "R108") if "subprocess.run" in f.message
+    ]
+    assert len(blocked) == 1
+    assert set(blocked[0].lockset) == {"order._A", "order._B"}
+
+
+# ----------------------------------------------------------------------
+# Cone restriction: code unreachable from any entry stays quiet
+# ----------------------------------------------------------------------
+NO_ENTRY = """\
+_TABLE = {}
+
+
+def helper(key):
+    _TABLE[key] = 1
+"""
+
+
+def test_rules_stay_quiet_without_thread_entries():
+    findings = deep_lint_sources({"src/jobs/serial.py": NO_ENTRY})
+    for rule in ("R105", "R106", "R107", "R108"):
+        assert by_rule(findings, rule) == [], format_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# CLI contract: JSON schema, exit codes, --explain
+# ----------------------------------------------------------------------
+def _racy_tree(tmp_path):
+    pkg = tmp_path / "src" / "jobs"
+    pkg.mkdir(parents=True)
+    (pkg / "racy.py").write_text(RACY_POOL)
+    return tmp_path / "src"
+
+
+def test_json_findings_carry_chain_and_lockset(tmp_path, capsys):
+    tree = _racy_tree(tmp_path)
+    (tmp_path / "src" / "jobs" / "order.py").write_text(DISCIPLINE)
+    assert main(["lint", str(tree), "--deep", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)["findings"]
+    base = {"rule", "path", "line", "col", "message"}
+    r105 = [f for f in payload if f["rule"] == "R105"]
+    assert r105
+    for finding in r105:
+        # chain present, lockset omitted when empty: the base schema
+        # (R001-R104 findings) is unchanged.
+        assert set(finding) == base | {"chain"}
+        assert finding["chain"][-1].endswith("worker")
+    blocked = [
+        f
+        for f in payload
+        if f["rule"] == "R108" and "subprocess.run" in f["message"]
+    ]
+    assert blocked and set(blocked[0]) == base | {"chain", "lockset"}
+
+
+def test_explain_prints_rationale_and_model(tmp_path, capsys):
+    tree = _racy_tree(tmp_path)
+    assert main(["lint", str(tree), "--deep", "--explain", "R105"]) == 1
+    out = capsys.readouterr().out
+    assert "R105" in out
+    assert "thread entry points:" in out
+    assert "shared objects" in out
+    assert "UNGUARDED" in out  # _STATS has no inferred lock
+    assert "entry chain: racy.worker" in out  # the seeded finding's chain
+
+
+def test_explain_on_clean_tree_exits_zero(tmp_path, capsys):
+    pkg = tmp_path / "src" / "jobs"
+    pkg.mkdir(parents=True)
+    (pkg / "tally.py").write_text(SANCTIONED)
+    assert main(["lint", str(tmp_path / "src"), "--deep", "--explain", "R107"]) == 0
+    assert "R107" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    tree = _racy_tree(tmp_path)
+    assert main(["lint", str(tree), "--explain", "R999"]) == 2
+    assert "R999" in capsys.readouterr().err

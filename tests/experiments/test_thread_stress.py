@@ -1,0 +1,134 @@
+"""Thread-backend stress tests: sharded execution stays race-free.
+
+The static rules R105-R108 prove the memo layers are lock-disciplined;
+these tests exercise the same paths dynamically.  The stress test runs
+the reference 4-cell grid over the in-process thread backend at four
+shards, repeatedly, and demands bit-identical results and fingerprints
+against the serial run — any write race in the runner memo or the
+shared stream banks shows up as a signature mismatch (or a crash).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.cache import CACHE_DIR_ENV
+from repro.experiments.parallel import GridRunner, RunSpec
+from repro.experiments.runner import (
+    RunSettings,
+    clear_cache,
+    execute_run,
+    run_benchmark,
+    store_result,
+)
+
+#: The reference grid: one workload under four placement policies, the
+#: shape every figure driver fans out.
+GRID = [
+    RunSpec("Kmeans", "A", "linux-4k"),
+    RunSpec("Kmeans", "A", "thp"),
+    RunSpec("Kmeans", "A", "carrefour-2m"),
+    RunSpec("Kmeans", "A", "autonuma"),
+]
+
+STRESS_ROUNDS = 3
+
+
+@pytest.fixture
+def fresh_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _signature(result):
+    return (
+        result.runtime_s,
+        tuple(result.epoch_times_s),
+        result.bank.total("tlb_misses"),
+        result.bank.total("page_faults_4k"),
+        result.bank.total("page_faults_2m"),
+        result.bank.total("time_dram_s"),
+        result.bank.total("time_walk_s"),
+        result.bank.total("time_ibs_s"),
+        float(sum(e.traffic.sum() for e in result.bank.epochs)),
+    )
+
+
+def test_thread_stress_bit_identical(fresh_env, monkeypatch):
+    """4 shards x repeated rounds == serial, bit for bit."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    settings = RunSettings.quick()
+    expected = {}
+    fingerprints = {}
+    for spec in GRID:
+        result = execute_run(
+            spec.workload, spec.machine, spec.policy, settings, spec.backing_1g
+        )
+        expected[spec] = _signature(result)
+        fingerprints[spec] = settings.fingerprint(
+            spec.workload, "machine-A", spec.policy, spec.backing_1g
+        )
+
+    for _ in range(STRESS_ROUNDS):
+        clear_cache()
+        grid = GridRunner(settings, backend="thread")
+        for spec in GRID:
+            grid.add_spec(spec)
+        # use_cache=False forces every shard to execute, so each round
+        # genuinely overlaps four simulations in one process.
+        results = grid.run(jobs=4, use_cache=False)
+        for spec in GRID:
+            assert _signature(results[spec]) == expected[spec], spec
+            # The run identity threads never touch stays stable too.
+            assert (
+                settings.fingerprint(
+                    spec.workload, "machine-A", spec.policy, spec.backing_1g
+                )
+                == fingerprints[spec]
+            )
+
+
+def test_memo_layer_survives_concurrent_stores(fresh_env):
+    """store_result / run_benchmark hammered from many threads.
+
+    Regression for the unguarded ``_CACHE[key] = result`` write (R105):
+    every store must land and reads must never see a torn state.
+    """
+    settings = RunSettings.quick()
+    result = execute_run("Kmeans", "A", "thp", settings, False)
+    n_threads, n_keys = 8, 50
+    start = threading.Barrier(n_threads)
+    errors = []
+
+    def hammer(worker):
+        start.wait()
+        try:
+            for i in range(n_keys):
+                store_result(
+                    "Kmeans", f"m{worker}-{i}", "thp", settings, False,
+                    result, persist=False,
+                )
+                again = run_benchmark("Kmeans", "A", "thp", settings)
+                assert _signature(again) == _signature(result)
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    store_result("Kmeans", "machine-A", "thp", settings, False, result,
+                 persist=False)
+    threads = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    with runner_mod._MEMO_LOCK:
+        stored = len(runner_mod._CACHE)
+    assert stored == n_threads * n_keys + 1

@@ -284,6 +284,56 @@ class TestDiskStore:
             assert_bank_matches_sequential(bank2, inst2, epoch)
 
 
+class TestPersistDeferral:
+    """Completed blocks are written outside the bank lock (R108 fix)."""
+
+    def test_persist_runs_with_the_lock_released(self, tiny_topo, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(STREAM_CACHE_ENV, str(tmp_path))
+        inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                             total_epochs=2)
+        bank = get_stream_bank(inst, SIM_SEED, LENGTH)
+        orig = bank._persist
+        lock_states = []
+
+        def spy(block):
+            lock_states.append(bank._lock.locked())
+            orig(block)
+
+        monkeypatch.setattr(bank, "_persist", spy)
+        for epoch in range(inst.total_epochs):
+            bank.epoch_arrays(epoch)
+        # Persistence happened, and never inside the critical section.
+        assert lock_states and not any(lock_states)
+        assert os.path.exists(
+            os.path.join(str(tmp_path), bank.fingerprint, "b0.ok")
+        )
+
+    def test_every_accessor_drains_the_queue(self, tiny_topo, tmp_path,
+                                             monkeypatch):
+        """epoch_arrays, ibs_rngs and tracker_columns all leave no block
+        stranded in the pending queue."""
+        monkeypatch.setenv(STREAM_CACHE_ENV, str(tmp_path))
+        accessors = {
+            "epoch_arrays": lambda bank, epoch: bank.epoch_arrays(epoch),
+            "ibs_rngs": lambda bank, epoch: bank.ibs_rngs(epoch),
+            "tracker_columns": lambda bank, epoch: bank.tracker_columns(
+                epoch, 0
+            ),
+        }
+        for name, accessor in accessors.items():
+            clear_stream_banks()
+            inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                                 total_epochs=2)
+            bank = get_stream_bank(inst, SIM_SEED, LENGTH)
+            for epoch in range(inst.total_epochs):
+                accessor(bank, epoch)
+                assert bank._pending_persist == [], name
+            assert os.path.exists(
+                os.path.join(str(tmp_path), bank.fingerprint, "b0.ok")
+            ), name
+
+
 class TestEngineEquivalence:
     def test_bank_toggle_is_bit_identical(self, monkeypatch):
         """A banked engine run equals the inline run, metric for metric."""
