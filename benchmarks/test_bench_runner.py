@@ -26,11 +26,11 @@ from repro.analysis.invariants import CHECK_ENV
 from repro.experiments.parallel import (
     GridRunner,
     RunSpec,
-    resolve_backend,
+    backend_choice,
     resolve_jobs,
 )
 from repro.experiments.runner import clear_cache, execute_run
-from repro.workloads.streambank import clear_stream_banks
+from repro.workloads.streambank import STREAM_CACHE_ENV, clear_stream_banks
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_runner.json"
@@ -50,9 +50,10 @@ def _timed_run(
 ) -> float:
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     clear_cache()
-    # Each timed pass starts with cold stream banks; otherwise the
-    # serial pass would warm them for the parallel pass and inflate
-    # the measured speedup.
+    # Each timed pass starts with cold stream banks AND its own block
+    # store; a shared REPRO_STREAM_CACHE would let the serial pass warm
+    # the parallel pass's fills from disk and inflate the speedup.
+    os.environ[STREAM_CACHE_ENV] = str(cache_dir / "stream-store")
     clear_stream_banks()
     grid = GridRunner(settings, backend=backend)
     for spec in BENCH_GRID:
@@ -97,13 +98,17 @@ def _timed_invariant_overhead(settings) -> dict:
 
 def test_bench_runner(settings, repro_jobs, tmp_path):
     old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
-    # resolve_jobs clamps the process backend to the actual core count
-    # (a "parallel" pass oversubscribing a small box reports
-    # meaningless speedups); the thread backend instead floors at 2, so
-    # even a one-core box measures real in-process overlap (shared
-    # stream banks + GIL-released numpy sections) instead of silently
-    # skipping the parallel pass.
-    backend = resolve_backend()
+    old_stream_cache = os.environ.get(STREAM_CACHE_ENV)
+    # The backend comes from the same auto-selection the runner uses,
+    # and the reason is recorded in the payload: a one-core box with no
+    # explicit REPRO_JOBS_BACKEND resolves to the serial loop (this
+    # grid previously recorded speedup_parallel 0.68 from a thread pool
+    # time-slicing a single core), in which case the parallel pass is
+    # honestly skipped rather than timed as a pessimization.  With an
+    # explicit thread backend, jobs floor at 2 so even a one-core box
+    # measures real in-process overlap (shared stream banks +
+    # GIL-released numpy sections).
+    backend, backend_reason = backend_choice()
     jobs_requested = max(2, repro_jobs)
     jobs = resolve_jobs(jobs_requested, backend)
     try:
@@ -128,7 +133,12 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
             os.environ.pop("REPRO_CACHE_DIR", None)
         else:
             os.environ["REPRO_CACHE_DIR"] = old_cache_dir
+        if old_stream_cache is None:
+            os.environ.pop(STREAM_CACHE_ENV, None)
+        else:
+            os.environ[STREAM_CACHE_ENV] = old_stream_cache
         clear_cache()
+        clear_stream_banks()
 
     assert len(warm) == len(BENCH_GRID)
     invariant_check = _timed_invariant_overhead(settings)
@@ -138,6 +148,7 @@ def test_bench_runner(settings, repro_jobs, tmp_path):
         "jobs_requested": jobs_requested,
         "jobs_effective": jobs,
         "backend": backend,
+        "backend_reason": backend_reason,
         "cpu_count": os.cpu_count(),
         "scale": settings.config.scale,
         "serial_wall_s": round(serial_s, 3),

@@ -24,6 +24,41 @@ def rng_for(*parts: object) -> np.random.Generator:
     return np.random.default_rng(stable_seed(*parts))
 
 
+class SeedHasher:
+    """Prefix-memoized :func:`stable_seed` / :func:`rng_for` for hot loops.
+
+    Call sites that derive many seeds sharing a fixed prefix (the
+    stream banks derive one generator per (thread, epoch) with only the
+    last two parts varying) pay the prefix repr + hash once here; each
+    :meth:`seed` call copies the SHA-256 midstate and hashes only the
+    suffix.  ``SeedHasher(*prefix).seed(*suffix)`` is bit-identical to
+    ``stable_seed(*prefix, *suffix)`` — the hashed byte stream is the
+    same — which makes :meth:`rng_for` a drop-in for the module-level
+    :func:`rng_for` (and keeps it a sanctioned generator construction
+    site for lint rules R002/R104).
+    """
+
+    __slots__ = ("_midstate",)
+
+    def __init__(self, *prefix: object) -> None:
+        if not prefix:
+            raise ValueError("SeedHasher needs at least one prefix part")
+        text = "\x1f".join(repr(p) for p in prefix)
+        self._midstate = hashlib.sha256(text.encode("utf-8"))
+
+    def seed(self, *suffix: object) -> int:
+        """``stable_seed(*prefix, *suffix)`` from the stored midstate."""
+        digest = self._midstate.copy()
+        digest.update(
+            "".join("\x1f" + repr(p) for p in suffix).encode("utf-8")
+        )
+        return int.from_bytes(digest.digest()[:8], "little")
+
+    def rng_for(self, *suffix: object) -> np.random.Generator:
+        """A generator seeded with ``stable_seed(*prefix, *suffix)``."""
+        return np.random.default_rng(self.seed(*suffix))
+
+
 def rng_from_state(state: dict) -> np.random.Generator:
     """Rebuild a generator from a captured ``bit_generator.state`` dict.
 

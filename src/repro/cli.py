@@ -71,12 +71,14 @@ def _add_run_options(cmd: argparse.ArgumentParser) -> None:
     )
     cmd.add_argument(
         "--jobs-backend",
-        choices=["thread", "process", "auto"],
+        choices=["serial", "thread", "process", "auto"],
         default=None,
         metavar="BACKEND",
         help="parallel executor: 'process' (pool of workers), 'thread'"
-        " (in-process shards that share stream banks; works on 1-core"
-        " boxes), or 'auto' (default: REPRO_JOBS_BACKEND or auto)",
+        " (in-process shards that share stream banks), 'serial'"
+        " (plain loop), or 'auto' (default: REPRO_JOBS_BACKEND or"
+        " auto; auto picks process on multi-core boxes and serial on"
+        " single-core ones)",
     )
     cmd.add_argument(
         "--fresh",

@@ -9,7 +9,13 @@ study).
 
 from repro.experiments.cache import ResultCache, cache_enabled, run_fingerprint
 from repro.experiments.configs import POLICIES, make_policy
-from repro.experiments.parallel import GridRunner, RunSpec, prefetch, resolve_jobs
+from repro.experiments.parallel import (
+    GridRunner,
+    RunSpec,
+    backend_choice,
+    prefetch,
+    resolve_jobs,
+)
 from repro.experiments.runner import RunSettings, improvement, run_benchmark
 from repro.experiments.reporting import Report
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
@@ -26,6 +32,7 @@ __all__ = [
     "GridRunner",
     "RunSpec",
     "prefetch",
+    "backend_choice",
     "resolve_jobs",
     "ResultCache",
     "cache_enabled",

@@ -7,23 +7,30 @@ experiment batch, deduplicates it (figures share their Linux/THP
 baselines), answers what it can from the two cache layers, and fans
 the misses out over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Two backends exist (``REPRO_JOBS_BACKEND`` or the ``backend``
+Three backends exist (``REPRO_JOBS_BACKEND`` or the ``backend``
 argument): ``process`` fans misses out over a
 ``ProcessPoolExecutor``; ``thread`` shards them over an in-process
 ``ThreadPoolExecutor`` — the engine's hot sections (stream-bank
 fetches, vectorized translation, binning) are numpy calls that release
 the GIL, and threaded workers share the process-wide stream banks, so
 a grid's policy pairs overlap even where a process pool cannot be
-built or ``cpu_count == 1``.  The default (``auto``) picks ``process``
-on multi-core boxes and ``thread`` on single-core ones.
+built; ``serial`` runs the misses in a plain in-process loop.  The
+default (``auto``) picks ``process`` on multi-core boxes and
+``serial`` on single-core ones — benchmarking showed the thread
+backend is a net *slowdown* at ``cpu_count == 1`` (executor and lock
+churn with no cores to overlap on; BENCH_runner.json once recorded
+``speedup_parallel: 0.68``), so single-core parallelism now requires
+an explicit ``--jobs-backend thread``.  :func:`backend_choice` returns
+the resolved backend together with a human-readable reason, which the
+benchmarks record as ``backend_reason``.
 
 Worker count resolution, in priority order: explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable, then
 ``os.cpu_count() - 1`` (at least 1; at least 2 for the thread
-backend).  ``jobs=1`` — and any platform where a process pool cannot
-be built (no ``fork``, sandboxed semaphores) — degrades to an
-in-process serial loop with identical results, since every run is
-deterministic.
+backend; always 1 for serial).  ``jobs=1`` — and any platform where a
+process pool cannot be built (no ``fork``, sandboxed semaphores) —
+degrades to an in-process serial loop with identical results, since
+every run is deterministic.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ JOBS_ENV = "REPRO_JOBS"
 #: (``thread`` | ``process`` | ``auto``).
 BACKEND_ENV = "REPRO_JOBS_BACKEND"
 
-_BACKENDS = ("thread", "process", "auto")
+_BACKENDS = ("serial", "thread", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -62,29 +69,55 @@ class RunSpec:
         return f"{self.workload}@{self.machine}/{self.policy}{suffix}"
 
 
-def resolve_backend(backend: Optional[str] = None) -> str:
-    """Executor backend: explicit arg > ``REPRO_JOBS_BACKEND`` > auto.
+def backend_choice(backend: Optional[str] = None) -> Tuple[str, str]:
+    """Resolved executor backend plus the reason it was chosen.
 
-    Returns ``"thread"`` or ``"process"`` (``auto`` resolves to
-    ``process`` on multi-core machines and ``thread`` on single-core
-    ones, where a process pool cannot measure any overlap anyway).
+    Resolution order: explicit arg > ``REPRO_JOBS_BACKEND`` > auto.
+    ``auto`` resolves to ``process`` on multi-core machines and to
+    ``serial`` on single-core ones: with one core neither pool backend
+    can overlap anything, and the thread backend's executor/lock churn
+    makes it an outright slowdown there — anyone who wants single-core
+    sharding (e.g. to exercise the locking) must ask for ``thread``
+    explicitly.  The reason string is what the benchmarks record as
+    ``backend_reason``.
     """
-    if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
+    if backend is not None:
+        source = "explicit"
+    else:
+        env = os.environ.get(BACKEND_ENV, "").strip().lower()
+        if env:
+            backend, source = env, f"env {BACKEND_ENV}"
+        else:
+            backend, source = "auto", "default"
     backend = backend.lower()
     if backend not in _BACKENDS:
         raise ValueError(
             f"unknown jobs backend {backend!r}; expected one of {_BACKENDS}"
         )
-    if backend == "auto":
-        backend = "process" if (os.cpu_count() or 1) > 1 else "thread"
-    return backend
+    if backend != "auto":
+        return backend, f"{source}: {backend}"
+    cpus = os.cpu_count() or 1
+    if cpus > 1:
+        return "process", f"{source}: auto, cpu_count={cpus} -> process"
+    return (
+        "serial",
+        f"{source}: auto, cpu_count=1 -> serial "
+        "(pool backends pessimize on one core)",
+    )
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Executor backend name alone (see :func:`backend_choice`)."""
+    return backend_choice(backend)[0]
 
 
 def resolve_jobs(jobs: Optional[int] = None, backend: Optional[str] = None) -> int:
     """Worker count: explicit arg > ``REPRO_JOBS`` > cpu_count - 1.
 
-    The process backend is clamped to ``os.cpu_count()``: its workers
+    The serial backend always resolves to 1 — that is its meaning, and
+    it is what ``auto`` picks on single-core boxes (see
+    :func:`backend_choice`).  The process backend is clamped to
+    ``os.cpu_count()``: its workers
     are CPU-bound, so oversubscribing cores only adds scheduler churn
     (and benchmark numbers taken that way report meaningless
     "parallel" speedups).  The thread backend instead floors at 2 —
@@ -94,6 +127,8 @@ def resolve_jobs(jobs: Optional[int] = None, backend: Optional[str] = None) -> i
     a serial loop).
     """
     resolved_backend = resolve_backend(backend)
+    if resolved_backend == "serial":
+        return 1
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if env:

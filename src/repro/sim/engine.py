@@ -372,10 +372,14 @@ class Simulation:
             # short streams represent the same DRAM access budget
             # spread over fewer touches.
             if bank is not None:
-                for t in active_idx:
-                    unique, counts, _, _ = bank.tracker_columns(epoch, int(t))
-                    self.tracker.add_weights(unique, counts, float(scale[t]))
-                self.tracker.merge_epoch_sharing(*bank.sharing_columns(epoch))
+                # Fused path: the bank pre-merged every thread's unique
+                # columns into one COO with the per-thread scale baked
+                # in (identical to this epoch's ``scale`` — the bank
+                # fingerprint pins ``dram_accesses``), so the whole
+                # epoch lands in two vectorized calls.
+                ids, _, _, scaled = bank.epoch_tracker(epoch)
+                self.tracker.add_epoch(ids, scaled)
+                self.tracker.merge_epoch_sharing(bank.sharing_packed(epoch))
             else:
                 for t in active_idx:
                     n = int(stream_sizes[t])

@@ -87,34 +87,59 @@ class AccessTracker:
             return
         self.weight[unique] += counts * weight_per_access
 
-    def merge_epoch_sharing(self, cols_4k, cols_2m, cols_1g) -> None:
+    def add_epoch(self, ids: np.ndarray, scaled_counts: np.ndarray) -> None:
+        """Accumulate one whole epoch's access weight in a single call.
+
+        ``ids``/``scaled_counts`` are the fused tracker columns of
+        :meth:`~repro.workloads.streambank.StreamBank.epoch_tracker`:
+        every thread's ``np.unique`` ids concatenated in ascending
+        thread order, with each thread's ``weight_per_access`` already
+        multiplied into its counts.  ``np.add.at`` is unbuffered and
+        applies additions in element order — ascending thread order,
+        with distinct ids inside each thread's segment — so the
+        floating-point accumulation sequence per granule is exactly
+        that of the per-thread :meth:`update`/:meth:`add_weights`
+        loop, bit for bit.
+        """
+        if ids.size == 0:
+            return
+        np.add.at(self.weight, ids, scaled_counts)
+
+    def merge_epoch_sharing(self, packed) -> None:
         """Fold one epoch's sharing information in, all threads at once.
 
-        Each ``cols_*`` is ``(ids, epoch_first, multi)`` for one page
-        level: the sorted distinct ids touched by any thread this
+        ``packed`` is ``(ids, epoch_first, multi, level_offsets)`` —
+        the three page levels' sharing summaries concatenated, as
+        built by
+        :meth:`~repro.workloads.streambank.StreamBank.sharing_packed`:
+        per level, the sorted distinct ids touched by any thread this
         epoch, the lowest thread id touching each, and whether two or
-        more distinct threads touched it (see
-        :meth:`~repro.workloads.streambank.StreamBank.sharing_columns`).
-        Produces exactly the ``first``/``shared`` state that calling
-        :meth:`update` per thread in ascending thread order would: a
-        previously untouched id records the epoch's first toucher (and
-        is shared iff several threads hit it this epoch); a known id
-        becomes shared when the epoch brings any different thread.
+        more distinct threads touched it.  Produces exactly the
+        ``first``/``shared`` state that calling :meth:`update` per
+        thread in ascending thread order would: a previously untouched
+        id records the epoch's first toucher (and is shared iff
+        several threads hit it this epoch); a known id becomes shared
+        when the epoch brings any different thread.
         """
-        for (first, shared), (ids, epoch_first, multi) in zip(
+        ids, epoch_first, multi, level_offsets = packed
+        for level, (first, shared) in enumerate(
             (
                 (self._first_4k, self._shared_4k),
                 (self._first_2m, self._shared_2m),
                 (self._first_1g, self._shared_1g),
-            ),
-            (cols_4k, cols_2m, cols_1g),
+            )
         ):
-            if ids.size == 0:
+            lo = int(level_offsets[level])
+            hi = int(level_offsets[level + 1])
+            if hi <= lo:
                 continue
-            current = first[ids]
+            l_ids = ids[lo:hi]
+            l_first = epoch_first[lo:hi]
+            l_multi = multi[lo:hi]
+            current = first[l_ids]
             fresh = current < 0
-            first[ids[fresh]] = epoch_first[fresh]
-            shared[ids[multi | (~fresh & (current != epoch_first))]] = True
+            first[l_ids[fresh]] = l_first[fresh]
+            shared[l_ids[l_multi | (~fresh & (current != l_first))]] = True
 
     @staticmethod
     def _mark(first: np.ndarray, shared: np.ndarray, ids: np.ndarray, thread: int) -> None:

@@ -26,20 +26,39 @@ Three fidelity rules keep banked runs bit-identical to inline runs:
   ``stream_homes`` scratch), so one bank serves any number of
   concurrent runs.
 
-Banks also pre-aggregate the access tracker's ``np.unique`` columns
-and the per-epoch sharing summary (the other repeated per-run costs)
-— see :meth:`StreamBank.tracker_columns`,
-:meth:`StreamBank.sharing_columns` and the
-:class:`repro.sim.tracker.AccessTracker` methods ``add_weights`` /
-``merge_epoch_sharing``.
+Fused epoch aggregation: alongside the streams, every epoch row stores
+the access tracker's whole-epoch inputs, pre-merged at fill time —
+
+* :meth:`StreamBank.epoch_tracker` — one COO triplet ``(ids,
+  thread_offsets, counts)`` of all per-thread ``np.unique`` columns in
+  ascending thread order, plus the per-thread weight scaling already
+  folded in (``scaled_counts``), so the engine feeds the tracker with
+  a single :meth:`~repro.sim.tracker.AccessTracker.add_epoch` call per
+  epoch instead of an ``n_threads`` Python loop;
+* :meth:`StreamBank.sharing_packed` — the three page-level sharing
+  summaries packed into flat ``(ids, first, multi)`` arrays with level
+  offsets, consumed whole by
+  :meth:`~repro.sim.tracker.AccessTracker.merge_epoch_sharing`.
+
+Pipelined fill: rows materialize lazily and concurrently.  Each row is
+filled exactly once by whichever thread claims it (a per-row
+``filling`` flag under the bank lock; generation itself runs outside
+the lock), so cold thread-backend shards fill different epochs of a
+shared bank in parallel, and a per-bank background prefill worker
+(:meth:`StreamBank._prefill_worker`, registered as a lint-deep thread
+entry point) keeps up to one :data:`EPOCH_WINDOW` of rows ahead of the
+consuming simulation — generation overlaps the engine's GIL-released
+``tracker``/``tlb`` numpy phases instead of preceding them.
 
 Environment knobs:
 
 * ``REPRO_STREAM_BANK=0`` disables banking (the engine falls back to
   inline per-thread generation; results are bit-identical either way);
 * ``REPRO_STREAM_CACHE=<dir>`` persists completed epoch blocks to disk
-  (``.npy`` columns loaded back memmapped), so banks survive across
-  processes of a grid sweep.
+  (``.npy`` columns loaded back memmapped, fused aggregation columns
+  alongside), so banks survive across processes of a grid sweep;
+* ``REPRO_STREAM_PREFETCH=0`` disables the background prefill worker
+  (rows still fill lazily, on demand, in the consuming thread).
 """
 
 from __future__ import annotations
@@ -54,18 +73,25 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro._util import rng_for, rng_from_state, stable_seed
+from repro._util import SeedHasher, rng_from_state, stable_seed
 from repro.vm.layout import SHIFT_1G, SHIFT_2M
 
 #: Set to ``0``/``false`` to disable stream banking entirely.
 STREAM_BANK_ENV = "REPRO_STREAM_BANK"
 #: Directory for the optional on-disk block store (unset = memory only).
 STREAM_CACHE_ENV = "REPRO_STREAM_CACHE"
+#: Set to ``0``/``false`` to disable the background prefill worker.
+STREAM_PREFETCH_ENV = "REPRO_STREAM_PREFETCH"
 
 #: Epochs per storage block.  Blocks are filled lazily epoch by epoch,
 #: so a short run never generates past what it consumes; the window
 #: only bounds allocation and disk-store granularity.
 EPOCH_WINDOW = 16
+
+#: How far ahead of the consuming simulation the prefill worker keeps
+#: the bank: one full window, i.e. double-buffering at block
+#: granularity (block k+1 fills while block k simulates).
+_PREFILL_LOOKAHEAD = EPOCH_WINDOW
 
 _FALSE_VALUES = frozenset({"0", "false", "off", "no"})
 
@@ -78,6 +104,11 @@ _BANKS: "OrderedDict[str, StreamBank]" = OrderedDict()
 #: replays): keyed by identity, garbage-collected with the instance.
 _INSTANCE_BANKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
+#: Lint-deep (R105-R108) thread entry points: the background prefill
+#: worker runs concurrently with every consumer of the bank, so the
+#: static race analysis must walk it.
+_THREAD_ENTRY_POINTS = ("StreamBank._prefill_worker",)
+
 
 def stream_bank_enabled() -> bool:
     """Whether the engine should route stream generation through banks."""
@@ -89,6 +120,21 @@ def stream_cache_dir() -> Optional[str]:
     """The on-disk block-store directory, or ``None`` when disabled."""
     path = os.environ.get(STREAM_CACHE_ENV, "").strip()
     return path or None
+
+
+def stream_prefetch_enabled() -> bool:
+    """Whether banks run the background prefill worker.
+
+    Unset means *auto*: on when a spare core exists to run the worker,
+    off on single-core hosts where a background fill thread only adds
+    scheduler contention to the consuming simulation (mirrors the
+    parallel runner's auto backend fallback).  An explicit value wins
+    in both directions.
+    """
+    value = os.environ.get(STREAM_PREFETCH_ENV, "").strip().lower()
+    if not value:
+        return (os.cpu_count() or 1) > 1
+    return value not in _FALSE_VALUES
 
 
 def clear_stream_banks() -> None:
@@ -135,10 +181,16 @@ def bank_fingerprint(instance: object, sim_seed: int, length: int) -> Optional[s
     replays and other duck-typed instances): their streams depend on
     payload data we cannot cheaply fingerprint, so they get per-object
     banks instead of shareable ones.
+
+    The workload's ``cost.dram_accesses`` is part of the key: the
+    bank's fused tracker columns bake the per-thread weight scaling
+    (``dram_accesses / stream_size``) into ``scaled_counts``, so two
+    instances may only share a bank when they would scale identically.
     """
     regions = getattr(instance, "regions", None)
     if regions is None:
         return None
+    cost = getattr(instance, "cost", None)
     parts = (
         type(instance).__name__,
         instance.name,
@@ -149,6 +201,7 @@ def bank_fingerprint(instance: object, sim_seed: int, length: int) -> Optional[s
         instance.n_granules,
         instance.backing_1g,
         instance.total_epochs,
+        None if cost is None else float(cost.dram_accesses),
         tuple(_region_signature(region) for region in regions),
     )
     return f"{stable_seed(*parts):016x}"
@@ -202,7 +255,8 @@ class _Block:
     """Storage for one ``EPOCH_WINDOW``-sized range of epochs."""
 
     __slots__ = ("epoch0", "n_epochs", "streams", "writes", "sizes",
-                 "rng_states", "filled", "persisted")
+                 "rng_states", "tracker", "sharing", "filled", "filling",
+                 "persisted")
 
     def __init__(self, epoch0: int, n_epochs: int, n_threads: int,
                  length: int) -> None:
@@ -212,7 +266,16 @@ class _Block:
         self.writes = np.zeros((n_epochs, n_threads, length), dtype=bool)
         self.sizes = np.zeros((n_epochs, n_threads), dtype=np.int64)
         self.rng_states: List[Optional[List[dict]]] = [None] * n_epochs
+        #: Per-row fused tracker columns: ``(ids, thread_offsets,
+        #: counts, scaled_counts)``.
+        self.tracker: List[Optional[tuple]] = [None] * n_epochs
+        #: Per-row packed sharing summary: ``(ids, first, multi,
+        #: level_offsets)`` over the three page levels.
+        self.sharing: List[Optional[tuple]] = [None] * n_epochs
         self.filled = np.zeros(n_epochs, dtype=bool)
+        #: Row claimed by a filler (generation runs outside the bank
+        #: lock; the flag makes each row single-writer).
+        self.filling = np.zeros(n_epochs, dtype=bool)
         self.persisted = False
 
     @classmethod
@@ -223,6 +286,8 @@ class _Block:
         writes: np.ndarray,
         sizes: np.ndarray,
         rng_states: List[List[dict]],
+        tracker: List[tuple],
+        sharing: List[tuple],
     ) -> "_Block":
         block = cls.__new__(cls)
         block.epoch0 = epoch0
@@ -231,7 +296,10 @@ class _Block:
         block.writes = writes
         block.sizes = sizes
         block.rng_states = list(rng_states)
+        block.tracker = list(tracker)
+        block.sharing = list(sharing)
         block.filled = np.ones(block.n_epochs, dtype=bool)
+        block.filling = np.zeros(block.n_epochs, dtype=bool)
         block.persisted = True
         return block
 
@@ -253,20 +321,35 @@ class StreamBank:
         self.n_threads = int(instance.n_threads)
         self.total_epochs = int(instance.total_epochs)
         self.fingerprint = fingerprint
+        cost = getattr(instance, "cost", None)
+        #: Baked into ``scaled_counts`` exactly as the engine computes
+        #: its per-thread scale (``dram_accesses / stream_size``).
+        self._dram = 0.0 if cost is None else float(cost.dram_accesses)
+        #: Prefix-memoized seeder: per-row generators vary only in the
+        #: ``(thread, epoch)`` suffix, so the fixed parts hash once.
+        self._seed_hasher = SeedHasher(
+            sim_seed, instance.seed, instance.name, "stream"
+        )
         self._dir = (
             os.path.join(cache_dir, fingerprint)
             if cache_dir is not None and fingerprint is not None
             else None
         )
         self._lock = threading.Lock()
+        #: Fillers signal row completion here; waiters re-check under
+        #: ``self._lock`` (the condition wraps that same lock).
+        self._cond = threading.Condition(self._lock)
         self._blocks: "OrderedDict[int, _Block]" = OrderedDict()
-        self._tracker_memo: Dict[Tuple[int, int], tuple] = {}
-        self._sharing_memo: Dict[int, tuple] = {}
-        #: Completed blocks awaiting persistence.  ``_fill`` runs under
-        #: ``self._lock`` and must not do disk I/O there (R108), so it
-        #: queues the block and the public entry points drain the queue
-        #: after releasing the lock.
+        #: Completed blocks awaiting persistence.  Rows complete while
+        #: holding ``self._lock`` and must not do disk I/O there
+        #: (R108), so the block is queued and the public entry points
+        #: drain the queue after releasing the lock.
         self._pending_persist: List[_Block] = []
+        #: Background prefill: highest epoch requested so far, scan
+        #: cursor, and whether a worker thread is currently alive.
+        self._prefill_target = -1
+        self._prefill_pos = 0
+        self._prefill_alive = False
 
     # ------------------------------------------------------------------
     # Engine-facing API
@@ -280,11 +363,10 @@ class StreamBank:
         ``(n_threads,)``; rows past each thread's size are zero.  The
         arrays are shared — callers must treat them as read-only.
         """
-        with self._lock:
-            block, i = self._row(epoch)
-            arrays = (block.streams[i], block.writes[i], block.sizes[i])
+        block, i = self._ensure_row(epoch)
         self._drain_persist()
-        return arrays
+        self._request_prefill(epoch)
+        return (block.streams[i], block.writes[i], block.sizes[i])
 
     def ibs_rngs(self, epoch: int) -> List[np.random.Generator]:
         """Fresh per-thread generators positioned after stream draws.
@@ -293,113 +375,113 @@ class StreamBank:
         every run's IBS sampler consumes its own copies — exactly the
         values the inline path would have drawn.
         """
-        with self._lock:
-            block, i = self._row(epoch)
-            states = block.rng_states[i]
+        block, i = self._ensure_row(epoch)
+        states = block.rng_states[i]
         self._drain_persist()
         return [rng_from_state(state) for state in states]
+
+    def epoch_tracker(self, epoch: int) -> tuple:
+        """Fused tracker columns ``(ids, thread_offsets, counts,
+        scaled_counts)`` for one epoch.
+
+        ``ids``/``counts`` are every thread's ``np.unique(stream,
+        return_counts=True)`` concatenated in ascending thread order
+        (``thread_offsets`` has ``n_threads + 1`` entries delimiting
+        the segments); ``scaled_counts`` is ``counts`` with each
+        thread's weight scale (``dram_accesses / stream_size``, zero
+        for idle threads) already multiplied in.  Feeding ``(ids,
+        scaled_counts)`` to
+        :meth:`~repro.sim.tracker.AccessTracker.add_epoch` is
+        bit-identical to the per-thread ``update``/``add_weights``
+        loop: ``np.add.at`` applies additions in element order, which
+        is exactly ascending thread order, and each thread's segment
+        holds distinct ids.
+        """
+        block, i = self._ensure_row(epoch)
+        columns = block.tracker[i]
+        self._drain_persist()
+        return columns
+
+    def sharing_packed(self, epoch: int) -> tuple:
+        """Packed epoch sharing summary ``(ids, first, multi,
+        level_offsets)``.
+
+        The three page levels (4KB granule, 2MB chunk, 1GB chunk) are
+        concatenated; ``level_offsets`` (4 entries) delimits them.  Per
+        level: the sorted distinct ids touched by *any* thread this
+        epoch, the lowest thread id touching each, and whether two or
+        more distinct threads touched it.  Consumed whole by
+        :meth:`~repro.sim.tracker.AccessTracker.merge_epoch_sharing`;
+        policy-independent, so runs sharing a bank pay the aggregation
+        once, at fill time.
+        """
+        block, i = self._ensure_row(epoch)
+        packed = block.sharing[i]
+        self._drain_persist()
+        return packed
 
     def tracker_columns(self, epoch: int, thread: int) -> tuple:
         """``(unique, counts, unique_2m, unique_1g)`` of one stream.
 
-        The :class:`~repro.sim.tracker.AccessTracker` aggregation
-        (``np.unique`` over every thread-epoch stream) is identical
-        across runs sharing a bank, so it is computed here once and
-        memoized alongside the streams.
+        Compatibility view over :meth:`epoch_tracker`: slices one
+        thread's segment out of the fused columns and re-derives the
+        shifted levels (sorted input, so a neighbour-diff dedupe equals
+        ``np.unique`` without re-sorting).
         """
-        key = (epoch, thread)
-        columns = self._tracker_memo.get(key)
-        if columns is not None:
-            # Sanctioned escape: the memoised tuple is immutable by
-            # contract (sorted arrays callers must not write), so the
-            # reference may leave the lock.
-            return columns  # lint: ignore[R107]
-        with self._lock:
-            columns = self._tracker_memo.get(key)
-            if columns is None:
-                block, i = self._row(epoch)
-                n = int(block.sizes[i, thread])
-                unique, counts = np.unique(
-                    block.streams[i, thread, :n], return_counts=True
-                )
-                # ``unique`` is sorted, so the shifted views are sorted
-                # too; a neighbour-diff dedupe equals ``np.unique``
-                # without re-sorting.
-                columns = (
-                    unique,
-                    counts,
-                    _dedupe_sorted(unique >> SHIFT_2M),
-                    _dedupe_sorted(unique >> SHIFT_1G),
-                )
-                self._tracker_memo[key] = columns
-        self._drain_persist()
-        return columns
+        ids, offsets, counts, _ = self.epoch_tracker(epoch)
+        lo, hi = int(offsets[thread]), int(offsets[thread + 1])
+        unique = ids[lo:hi]
+        return (
+            unique,
+            counts[lo:hi],
+            _dedupe_sorted(unique >> SHIFT_2M),
+            _dedupe_sorted(unique >> SHIFT_1G),
+        )
 
     def sharing_columns(self, epoch: int) -> tuple:
         """Per-level epoch sharing summary: three ``(ids, first, multi)``.
 
-        For each page level (4KB granule, 2MB chunk, 1GB chunk):
-        the sorted distinct ids touched by *any* thread this epoch,
-        the lowest thread id touching each, and whether two or more
-        distinct threads touched it.  Together with the per-thread
-        :meth:`tracker_columns` weights this is everything the access
-        tracker needs from an epoch
-        (:meth:`~repro.sim.tracker.AccessTracker.merge_epoch_sharing`),
-        and it is policy-independent, so runs sharing a bank pay the
-        aggregation once.
+        Compatibility view over :meth:`sharing_packed` (the packed
+        levels, sliced apart).
         """
-        columns = self._sharing_memo.get(epoch)
-        if columns is not None:
-            # Sanctioned escape: per-level tuples are immutable by
-            # contract, like tracker_columns above.
-            return columns  # lint: ignore[R107]
-        per_level = ([], [], [])
-        threads_per_level = ([], [], [])
-        for t in range(self.n_threads):
-            unique, _, u2, u1 = self.tracker_columns(epoch, t)
-            for slot, ids in enumerate((unique, u2, u1)):
-                if ids.size:
-                    per_level[slot].append(ids)
-                    threads_per_level[slot].append(
-                        np.full(ids.size, t, dtype=np.int16)
-                    )
-        levels = []
-        for ids_list, thread_list in zip(per_level, threads_per_level):
-            if not ids_list:
-                levels.append(
-                    (
-                        np.empty(0, dtype=np.int64),
-                        np.empty(0, dtype=np.int16),
-                        np.empty(0, dtype=bool),
-                    )
-                )
-                continue
-            all_ids = np.concatenate(ids_list)
-            all_threads = np.concatenate(thread_list)
-            # Stable sort by id: per-thread lists are deduplicated and
-            # appended in ascending thread order, so the first row of
-            # each id run is its lowest toucher.
-            order = np.argsort(all_ids, kind="stable")
-            sorted_ids = all_ids[order]
-            sorted_threads = all_threads[order]
-            keep = np.empty(sorted_ids.size, dtype=bool)
-            keep[0] = True
-            np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=keep[1:])
-            starts = np.flatnonzero(keep)
-            touches = np.diff(np.append(starts, sorted_ids.size))
-            levels.append(
-                (sorted_ids[starts], sorted_threads[starts], touches >= 2)
+        ids, first, multi, offsets = self.sharing_packed(epoch)
+        return tuple(
+            (
+                ids[offsets[level]:offsets[level + 1]],
+                first[offsets[level]:offsets[level + 1]],
+                multi[offsets[level]:offsets[level + 1]],
             )
-        columns = tuple(levels)
-        with self._lock:
-            self._sharing_memo.setdefault(epoch, columns)
-        return columns
+            for level in range(3)
+        )
 
     # ------------------------------------------------------------------
-    # Block management
+    # Row materialization (pipelined fill)
     # ------------------------------------------------------------------
-    def _row(self, epoch: int) -> Tuple[_Block, int]:
-        """The (block, row-index) holding ``epoch``, filled."""
+    def _ensure_row(self, epoch: int) -> Tuple[_Block, int]:
+        """The (block, row-index) holding ``epoch``, filled.
+
+        Rows fill outside the bank lock under a per-row ``filling``
+        claim, so concurrent shards of a cold grid cell materialize
+        *different* epochs of one shared bank in parallel; a thread
+        needing a row that another thread is generating waits on the
+        bank condition instead of duplicating the work.
+        """
+        while True:
+            with self._lock:
+                block = self._block_at(epoch)
+                i = epoch - block.epoch0
+                if block.filled[i]:
+                    return block, i
+                if block.filling[i]:
+                    self._cond.wait()
+                    continue
+                block.filling[i] = True
+            self._fill_row(block, i)
+            return block, i
+
+    def _block_at(self, epoch: int) -> _Block:
+        """Locate/create/load the block holding ``epoch``.  Caller
+        holds ``self._lock``."""
         epoch0 = (epoch // EPOCH_WINDOW) * EPOCH_WINDOW
         block = self._blocks.get(epoch0)
         if block is None:
@@ -409,28 +491,53 @@ class StreamBank:
                 block = _Block(epoch0, n_epochs, self.n_threads, self.length)
             self._blocks[epoch0] = block
             while len(self._blocks) > _MAX_BLOCKS_PER_BANK:
-                old0, old = self._blocks.popitem(last=False)
-                for e in range(old0, old0 + old.n_epochs):
-                    self._sharing_memo.pop(e, None)
-                    for t in range(self.n_threads):
-                        self._tracker_memo.pop((e, t), None)
+                self._blocks.popitem(last=False)
         else:
             self._blocks.move_to_end(epoch0)
-        i = epoch - block.epoch0
-        if not block.filled[i]:
-            self._fill(block, i)
-        return block, i
+        return block
 
-    def _fill(self, block: _Block, i: int) -> None:
-        """Generate every thread's stream for one epoch row."""
+    def _fill_row(self, block: _Block, i: int) -> None:
+        """Generate one claimed epoch row outside the lock, then
+        publish it.
+
+        The claiming protocol makes this row single-writer, so the
+        generation writes into ``block`` need no lock; the row only
+        becomes visible (``filled``) under the lock, after every
+        column — streams, RNG states, fused tracker and sharing — is
+        complete.  A failed fill releases the claim so another thread
+        can retry (generation is deterministic).
+        """
+        published = False
+        try:
+            states = self._generate_row(block, i)
+            tracker = self._aggregate_tracker(block, i)
+            sharing = self._aggregate_sharing(tracker[0], tracker[1])
+            published = True
+        finally:
+            with self._lock:
+                block.filling[i] = False
+                if published:
+                    block.rng_states[i] = states
+                    block.tracker[i] = tracker
+                    block.sharing[i] = sharing
+                    block.filled[i] = True
+                    if (
+                        self._dir is not None
+                        and not block.persisted
+                        and bool(block.filled.all())
+                    ):
+                        self._pending_persist.append(block)
+                self._cond.notify_all()
+
+    def _generate_row(self, block: _Block, i: int) -> List[dict]:
+        """Draw every thread's stream for one epoch row; returns the
+        captured post-generation RNG states."""
         epoch = block.epoch0 + i
         instance = self.instance
         into = getattr(instance, "epoch_stream_into", None)
         states: List[dict] = []
         for t in range(self.n_threads):
-            rng = rng_for(
-                self.sim_seed, instance.seed, instance.name, "stream", t, epoch
-            )
+            rng = self._seed_hasher.rng_for(t, epoch)
             if into is not None:
                 n = into(
                     t, epoch, rng, self.length,
@@ -446,16 +553,203 @@ class StreamBank:
                     block.writes[i, t, :n] = writes
             block.sizes[i, t] = n
             states.append(rng.bit_generator.state)
-        block.rng_states[i] = states
-        block.filled[i] = True
-        if self._dir is not None and not block.persisted and block.filled.all():
-            self._pending_persist.append(block)
+        return states
+
+    def _aggregate_tracker(self, block: _Block, i: int) -> tuple:
+        """Fused tracker columns for one generated row.
+
+        Full rows (every thread drew exactly ``length`` accesses — all
+        builtin region workloads) take a vectorized path: one row-wise
+        sort plus a neighbour-diff keep mask computes every thread's
+        ``np.unique(..., return_counts=True)`` at once (identical
+        values — sorting and run-length counting are exact integer
+        operations).  Ragged rows (trace replays) fall back to
+        per-thread ``np.unique``.
+        """
+        sizes = block.sizes[i]
+        n_threads = self.n_threads
+        length = self.length
+        if length > 0 and bool((sizes == length).all()):
+            srt = np.sort(block.streams[i], axis=1)
+            keep = np.empty((n_threads, length), dtype=bool)
+            keep[:, 0] = True
+            np.not_equal(srt[:, 1:], srt[:, :-1], out=keep[:, 1:])
+            starts = np.flatnonzero(keep.reshape(-1))
+            ids = srt.reshape(-1)[starts]
+            counts = np.diff(np.append(starts, n_threads * length))
+            offsets = np.zeros(n_threads + 1, dtype=np.int64)
+            np.cumsum(keep.sum(axis=1), out=offsets[1:])
+        else:
+            ids_list: List[np.ndarray] = []
+            counts_list: List[np.ndarray] = []
+            offsets = np.zeros(n_threads + 1, dtype=np.int64)
+            for t in range(n_threads):
+                n = int(sizes[t])
+                unique, counts_t = np.unique(
+                    block.streams[i, t, :n], return_counts=True
+                )
+                ids_list.append(unique)
+                counts_list.append(counts_t)
+                offsets[t + 1] = offsets[t] + unique.size
+            ids = (
+                np.concatenate(ids_list)
+                if ids_list else np.empty(0, dtype=np.int64)
+            )
+            counts = (
+                np.concatenate(counts_list)
+                if counts_list else np.empty(0, dtype=np.int64)
+            )
+        scaled = self._scaled_counts(sizes, offsets, counts)
+        return (ids, offsets, counts, scaled)
+
+    def _scaled_counts(
+        self, sizes: np.ndarray, offsets: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """``counts`` with each thread's weight scale multiplied in.
+
+        The scale vector is computed exactly as the engine's:
+        ``dram_accesses / stream_size`` per active thread, zero for
+        idle ones; each element of a thread's segment is multiplied by
+        the same float64, so the products match the per-thread
+        ``counts * weight_per_access`` bitwise.
+        """
+        scale = np.zeros(self.n_threads)
+        active = sizes > 0
+        scale[active] = self._dram / sizes[active]
+        return counts * np.repeat(scale, np.diff(offsets))
+
+    def _aggregate_sharing(
+        self, ids: np.ndarray, offsets: np.ndarray
+    ) -> tuple:
+        """Packed three-level sharing summary from fused tracker ids.
+
+        Only the 4KB level sorts: per-thread id segments are unique
+        within each segment, so packing ``(id << tbits) | thread`` into
+        one int64 key and sorting it is the stable by-id merge (equal
+        ids order by thread; no two keys tie).  Each id run then yields
+        its lowest (``first``) and highest (``last``) toucher, and a
+        run of length >= 2 means >= 2 distinct threads (``multi``).
+
+        The coarser levels never re-sort: a 2MB chunk's touching-thread
+        set is the union over its 4KB granules, so its lowest toucher
+        is the min of per-granule ``first``, its highest the max of
+        per-granule ``last``, and it is multi-touched iff max > min —
+        all segment reductions (``reduceat``) over the already-sorted
+        granule runs.  1GB folds from 2MB the same way.
+        """
+        level_ids: List[np.ndarray] = []
+        level_first: List[np.ndarray] = []
+        level_multi: List[np.ndarray] = []
+        if ids.size:
+            seg_threads = np.repeat(
+                np.arange(self.n_threads, dtype=np.int64), np.diff(offsets)
+            )
+            tbits = max(1, (self.n_threads - 1).bit_length())
+            key = (ids << tbits) | seg_threads
+            key.sort()
+            lvl_ids = key >> tbits
+            lvl_threads = (key & ((1 << tbits) - 1)).astype(np.int16)
+            keep = np.empty(lvl_ids.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lvl_ids[1:], lvl_ids[:-1], out=keep[1:])
+            starts = np.flatnonzero(keep)
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:] - 1
+            ends[-1] = lvl_ids.size - 1
+            lvl_ids = lvl_ids[starts]
+            lvl_first = lvl_threads[starts]
+            lvl_last = lvl_threads[ends]
+            for shift in (0, SHIFT_2M, SHIFT_1G - SHIFT_2M):
+                if shift:
+                    shifted = lvl_ids >> shift
+                    keep = np.empty(shifted.size, dtype=bool)
+                    keep[0] = True
+                    np.not_equal(shifted[1:], shifted[:-1], out=keep[1:])
+                    starts = np.flatnonzero(keep)
+                    lvl_ids = shifted[starts]
+                    lvl_first = np.minimum.reduceat(lvl_first, starts)
+                    lvl_last = np.maximum.reduceat(lvl_last, starts)
+                level_ids.append(lvl_ids)
+                level_first.append(lvl_first)
+                level_multi.append(lvl_last > lvl_first)
+        else:
+            for _ in range(3):
+                level_ids.append(np.empty(0, dtype=np.int64))
+                level_first.append(np.empty(0, dtype=np.int16))
+                level_multi.append(np.empty(0, dtype=bool))
+        level_offsets = np.zeros(4, dtype=np.int64)
+        np.cumsum([a.size for a in level_ids], out=level_offsets[1:])
+        return (
+            np.concatenate(level_ids),
+            np.concatenate(level_first),
+            np.concatenate(level_multi),
+            level_offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # Background prefill
+    # ------------------------------------------------------------------
+    def _request_prefill(self, epoch: int) -> None:
+        """Advance the prefill horizon past ``epoch`` and (re)start the
+        worker if it has gone idle."""
+        if self.total_epochs <= 1 or not stream_prefetch_enabled():
+            return
+        target = min(epoch + _PREFILL_LOOKAHEAD, self.total_epochs - 1)
+        start = False
+        with self._lock:
+            if target > self._prefill_target:
+                self._prefill_target = target
+            if not self._prefill_alive and self._next_unfilled() is not None:
+                self._prefill_alive = True
+                start = True
+        if start:
+            worker = threading.Thread(
+                target=self._prefill_worker,
+                name=f"streambank-prefill-{self.fingerprint or hex(id(self))}",
+                daemon=True,
+            )
+            worker.start()
+
+    def _next_unfilled(self) -> Optional[int]:
+        """First epoch <= the prefill target needing a fill (neither
+        filled nor claimed).  Caller holds ``self._lock``."""
+        pos = int(self._prefill_pos)
+        while pos <= self._prefill_target and pos < self.total_epochs:
+            epoch0 = (pos // EPOCH_WINDOW) * EPOCH_WINDOW
+            block = self._blocks.get(epoch0)
+            if block is None:
+                return pos
+            i = pos - epoch0
+            if block.filled[i]:
+                pos += 1
+                self._prefill_pos = pos
+                continue
+            if block.filling[i]:
+                # Another thread is generating it; look past without
+                # committing the cursor (the claim may fail).
+                pos += 1
+                continue
+            return pos
+        return None
+
+    def _prefill_worker(self) -> None:
+        """Background fill loop: materialize rows up to the requested
+        horizon, then exit (consumers restart the worker as the horizon
+        advances)."""
+        while True:
+            with self._lock:
+                epoch = self._next_unfilled()
+                if epoch is None:
+                    self._prefill_alive = False
+                    return
+            self._ensure_row(epoch)
+            self._drain_persist()
 
     def _drain_persist(self) -> None:
         """Persist queued blocks *outside* the lock.
 
-        ``_fill`` completes blocks while holding ``self._lock``; doing
-        the disk writes there would stall every concurrent shard on the
+        Rows complete blocks while holding ``self._lock``; doing the
+        disk writes there would stall every concurrent shard on the
         bank's critical section (R108), so completed blocks are queued
         and written here after the caller releases the lock.  Draining
         is race-free: each block enters the queue exactly once (when
@@ -479,13 +773,53 @@ class StreamBank:
             "writes": base + ".writes.npy",
             "sizes": base + ".sizes.npy",
             "rng": base + ".rng.json",
+            "agg": base + ".agg.npz",
             "ok": base + ".ok",
+        }
+
+    def _agg_payload(self, block: _Block) -> Dict[str, np.ndarray]:
+        """Flatten a completed block's fused aggregation columns for
+        the disk store (``scaled_counts`` is derived, recomputed on
+        load)."""
+        n_threads = self.n_threads
+        t_row = np.zeros(block.n_epochs + 1, dtype=np.int64)
+        t_off = np.zeros((block.n_epochs, n_threads + 1), dtype=np.int64)
+        s_row = np.zeros(block.n_epochs + 1, dtype=np.int64)
+        s_lvl = np.zeros((block.n_epochs, 4), dtype=np.int64)
+        t_ids: List[np.ndarray] = []
+        t_counts: List[np.ndarray] = []
+        s_ids: List[np.ndarray] = []
+        s_first: List[np.ndarray] = []
+        s_multi: List[np.ndarray] = []
+        for i in range(block.n_epochs):
+            ids, offsets, counts, _ = block.tracker[i]
+            t_ids.append(ids)
+            t_counts.append(counts)
+            t_off[i] = offsets
+            t_row[i + 1] = t_row[i] + ids.size
+            p_ids, p_first, p_multi, lvl = block.sharing[i]
+            s_ids.append(p_ids)
+            s_first.append(p_first)
+            s_multi.append(p_multi)
+            s_row[i + 1] = s_row[i] + p_ids.size
+            s_lvl[i] = lvl
+        return {
+            "t_ids": np.concatenate(t_ids),
+            "t_counts": np.concatenate(t_counts),
+            "t_row": t_row,
+            "t_off": t_off,
+            "s_ids": np.concatenate(s_ids),
+            "s_first": np.concatenate(s_first),
+            "s_multi": np.concatenate(s_multi),
+            "s_row": s_row,
+            "s_lvl": s_lvl,
         }
 
     def _persist(self, block: _Block) -> None:
         """Best-effort write of a completed block (atomic per file; the
         ``.ok`` marker lands last so readers never see partial blocks)."""
         paths = self._paths(block.epoch0)
+        agg = self._agg_payload(block)
         try:
             os.makedirs(self._dir, exist_ok=True)
             for key, array in (
@@ -497,6 +831,10 @@ class StreamBank:
                     paths[key], self._dir,
                     lambda fh, a=array: np.save(fh, a),
                 )
+            _atomic_write(
+                paths["agg"], self._dir,
+                lambda fh: np.savez(fh, **agg),
+            )
             _atomic_write(
                 paths["rng"], self._dir,
                 lambda fh: fh.write(
@@ -525,7 +863,9 @@ class StreamBank:
             sizes = np.load(paths["sizes"])  # lint: ignore[R108]
             with open(paths["rng"], "r", encoding="ascii") as fh:  # lint: ignore[R108]
                 rng_states = json.load(fh)  # lint: ignore[R108]
-        except (OSError, ValueError):
+            with np.load(paths["agg"]) as stored:  # lint: ignore[R108]
+                agg = {key: stored[key] for key in stored.files}
+        except (OSError, ValueError, KeyError):
             return None
         n_epochs = max(1, min(EPOCH_WINDOW, self.total_epochs - epoch0))
         if (
@@ -535,7 +875,56 @@ class StreamBank:
             or len(rng_states) != n_epochs
         ):
             return None
-        return _Block.from_store(epoch0, streams, writes, sizes, rng_states)
+        rows = self._rows_from_agg(agg, sizes, n_epochs)
+        if rows is None:
+            return None
+        tracker, sharing = rows
+        return _Block.from_store(
+            epoch0, streams, writes, sizes, rng_states, tracker, sharing
+        )
+
+    def _rows_from_agg(
+        self, agg: Dict[str, np.ndarray], sizes: np.ndarray, n_epochs: int
+    ) -> Optional[Tuple[List[tuple], List[tuple]]]:
+        """Rebuild per-row fused columns from a stored block, or
+        ``None`` when the payload is inconsistent (stale store)."""
+        try:
+            t_ids, t_counts = agg["t_ids"], agg["t_counts"]
+            t_row, t_off = agg["t_row"], agg["t_off"]
+            s_ids, s_first = agg["s_ids"], agg["s_first"]
+            s_multi, s_row, s_lvl = agg["s_multi"], agg["s_row"], agg["s_lvl"]
+        except KeyError:
+            return None
+        if (
+            t_row.shape != (n_epochs + 1,)
+            or t_off.shape != (n_epochs, self.n_threads + 1)
+            or s_row.shape != (n_epochs + 1,)
+            or s_lvl.shape != (n_epochs, 4)
+            or int(t_row[-1]) != t_ids.size
+            or t_counts.shape != t_ids.shape
+            or int(s_row[-1]) != s_ids.size
+            or s_first.shape != s_ids.shape
+            or s_multi.shape != s_ids.shape
+        ):
+            return None
+        tracker: List[tuple] = []
+        sharing: List[tuple] = []
+        for i in range(n_epochs):
+            ids = t_ids[int(t_row[i]):int(t_row[i + 1])]
+            counts = t_counts[int(t_row[i]):int(t_row[i + 1])]
+            offsets = t_off[i]
+            if int(offsets[-1]) != ids.size:
+                return None
+            scaled = self._scaled_counts(sizes[i], offsets, counts)
+            tracker.append((ids, offsets, counts, scaled))
+            lo, hi = int(s_row[i]), int(s_row[i + 1])
+            lvl = s_lvl[i]
+            if int(lvl[-1]) != hi - lo:
+                return None
+            sharing.append(
+                (s_ids[lo:hi], s_first[lo:hi], s_multi[lo:hi], lvl)
+            )
+        return tracker, sharing
 
 
 def _atomic_write(path: str, directory: str, write) -> None:

@@ -14,6 +14,7 @@ from repro.experiments.parallel import (
     GridRunner,
     RunSpec,
     prefetch,
+    backend_choice,
     resolve_backend,
     resolve_jobs,
 )
@@ -87,11 +88,13 @@ class TestResolveJobs:
         monkeypatch.delenv(JOBS_ENV, raising=False)
         monkeypatch.delenv(BACKEND_ENV, raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: None)
-        # Unknown cpu count resolves to the thread backend, which
-        # floors at two shards (in-process overlap is productive even
-        # on one core); the process backend still clamps to one.
-        assert resolve_jobs(4) == 2
+        # Unknown cpu count counts as one core: auto resolves to the
+        # serial backend (pool backends pessimize there), so any jobs
+        # request collapses to 1; the process backend still clamps to
+        # one, and thread must be requested explicitly to shard.
+        assert resolve_jobs(4) == 1
         assert resolve_jobs(4, backend="process") == 1
+        assert resolve_jobs(4, backend="thread") == 2
 
 
 class TestResolveBackend:
@@ -109,8 +112,31 @@ class TestResolveBackend:
         monkeypatch.delenv(BACKEND_ENV, raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
         assert resolve_backend() == "process"
+        # One core: no pool backend can overlap anything, and the
+        # thread backend measured as a slowdown there — auto falls
+        # back to a plain serial loop unless thread is explicit.
         monkeypatch.setattr(os, "cpu_count", lambda: 1)
-        assert resolve_backend() == "thread"
+        assert resolve_backend() == "serial"
+        assert resolve_backend("thread") == "thread"
+
+    def test_backend_choice_reports_reason(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        backend, reason = backend_choice()
+        assert backend == "serial"
+        assert "cpu_count=1" in reason and "serial" in reason
+        backend, reason = backend_choice("thread")
+        assert backend == "thread"
+        assert reason.startswith("explicit")
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        backend, reason = backend_choice()
+        assert backend == "process"
+        assert BACKEND_ENV in reason
+
+    def test_serial_backend_resolves_one_job(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(backend="serial") == 1
+        assert resolve_jobs(16, backend="serial") == 1
 
     def test_unknown_backend_rejected(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)

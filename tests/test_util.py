@@ -5,6 +5,7 @@ import pytest
 
 from repro import errors
 from repro._util import (
+    SeedHasher,
     as_int_array,
     ceil_div,
     human_bytes,
@@ -39,6 +40,35 @@ class TestRngFor:
         a = rng_for("w", 0).random(5)
         b = rng_for("w", 1).random(5)
         assert not np.array_equal(a, b)
+
+
+class TestSeedHasher:
+    """The midstate shortcut must be indistinguishable from the full hash."""
+
+    def test_seed_matches_stable_seed(self):
+        hasher = SeedHasher(0, 7, "CG.D", "stream")
+        for thread in (0, 3, 43):
+            for epoch in (0, 15, 9999):
+                assert hasher.seed(thread, epoch) == stable_seed(
+                    0, 7, "CG.D", "stream", thread, epoch
+                )
+
+    def test_non_ascii_and_structured_parts(self):
+        hasher = SeedHasher("naïve", (1, 2))
+        assert hasher.seed("ü", -3) == stable_seed("naïve", (1, 2), "ü", -3)
+
+    def test_empty_suffix(self):
+        assert SeedHasher("a", 1).seed() == stable_seed("a", 1)
+
+    def test_rng_matches_rng_for(self):
+        hasher = SeedHasher("w", "stream")
+        a = hasher.rng_for(2, 5).random(8)
+        b = rng_for("w", "stream", 2, 5).random(8)
+        assert np.array_equal(a, b)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            SeedHasher()
 
 
 class TestAsIntArray:

@@ -10,6 +10,8 @@ access-tracker state from the pre-aggregated columns.
 from __future__ import annotations
 
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -28,11 +30,13 @@ from repro.workloads.regions import (
 from repro.workloads.streambank import (
     STREAM_BANK_ENV,
     STREAM_CACHE_ENV,
+    STREAM_PREFETCH_ENV,
     StreamBank,
     bank_fingerprint,
     clear_stream_banks,
     get_stream_bank,
     stream_bank_enabled,
+    stream_prefetch_enabled,
 )
 from repro.workloads.trace import TraceData, TraceRecorder, TraceWorkloadInstance
 
@@ -98,7 +102,11 @@ def assert_bank_matches_sequential(bank, instance, epoch, length=LENGTH):
 
 
 @pytest.fixture(autouse=True)
-def _fresh_banks():
+def _fresh_banks(monkeypatch):
+    # Prefetch off by default so fills (and block persistence) happen
+    # synchronously in the consuming thread; the pipelined-fill tests
+    # below opt back in explicitly.
+    monkeypatch.setenv(STREAM_PREFETCH_ENV, "0")
     clear_stream_banks()
     yield
     clear_stream_banks()
@@ -156,7 +164,7 @@ class TestBatchedEquivalence:
         for ids, first, multi in bank.sharing_columns(1):
             assert ids.size == first.size == multi.size == 0
         tracker = AccessTracker(64)
-        tracker.merge_epoch_sharing(*bank.sharing_columns(1))
+        tracker.merge_epoch_sharing(bank.sharing_packed(1))
         assert not tracker._shared_4k.any()
         assert (tracker._first_4k == -1).all()
 
@@ -192,7 +200,7 @@ class TestTrackerColumns:
                 seq.update(t, streams[t, : int(sizes[t])], weight)
                 unique, counts, _, _ = bank.tracker_columns(epoch, t)
                 banked.add_weights(unique, counts, weight)
-            banked.merge_epoch_sharing(*bank.sharing_columns(epoch))
+            banked.merge_epoch_sharing(bank.sharing_packed(epoch))
         np.testing.assert_array_equal(banked.weight, seq.weight)
         for level in ("4k", "2m", "1g"):
             np.testing.assert_array_equal(
@@ -332,6 +340,272 @@ class TestPersistDeferral:
             assert os.path.exists(
                 os.path.join(str(tmp_path), bank.fingerprint, "b0.ok")
             ), name
+
+
+def assert_fused_matches_update(bank, instance, epochs):
+    """Property: add_epoch over the fused COO == the sequential
+    per-thread update() loop, bit for bit, including sharing state.
+
+    The reference recomputes the engine's per-thread scale
+    (``dram_accesses / stream_size``) exactly as ``_run_epoch`` does.
+    """
+    seq = AccessTracker(instance.n_granules)
+    fused = AccessTracker(instance.n_granules)
+    dram = instance.cost.dram_accesses
+    for epoch in epochs:
+        streams, _, sizes = bank.epoch_arrays(epoch)
+        scale = np.zeros(bank.n_threads)
+        active = sizes > 0
+        scale[active] = dram / sizes[active]
+        for t in range(bank.n_threads):
+            n = int(sizes[t])
+            seq.update(t, streams[t, :n], float(scale[t]))
+        ids, offsets, counts, scaled = bank.epoch_tracker(epoch)
+        assert offsets.shape == (bank.n_threads + 1,)
+        assert int(offsets[-1]) == ids.size == counts.size == scaled.size
+        fused.add_epoch(ids, scaled)
+        fused.merge_epoch_sharing(bank.sharing_packed(epoch))
+    np.testing.assert_array_equal(fused.weight, seq.weight)
+    for level in ("4k", "2m", "1g"):
+        np.testing.assert_array_equal(
+            getattr(fused, f"_first_{level}"), getattr(seq, f"_first_{level}")
+        )
+        np.testing.assert_array_equal(
+            getattr(fused, f"_shared_{level}"), getattr(seq, f"_shared_{level}")
+        )
+
+
+class TestFusedEpochAggregation:
+    """Property-style equivalence: the fused per-epoch COO path
+    (``epoch_tracker`` + ``add_epoch`` + ``sharing_packed``) must
+    reproduce the sequential per-thread ``update`` loop exactly."""
+
+    @pytest.mark.parametrize("kind", sorted(REGION_FACTORIES))
+    def test_every_region_kind(self, kind, tiny_topo):
+        inst = make_instance(REGION_FACTORIES[kind](), tiny_topo)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        assert_fused_matches_update(bank, inst, range(inst.total_epochs))
+
+    def test_empty_streams(self, tiny_topo):
+        """Epochs nobody touches contribute empty COO segments."""
+        cost = CostProfile(cpu_seconds=0.1, mem_accesses=1e6, dram_accesses=1e5)
+        trace = TraceData(
+            n_threads=2,
+            n_granules=64,
+            total_epochs=3,
+            thread=np.array([0, 0, 1], dtype=np.int64),
+            epoch=np.array([0, 0, 2], dtype=np.int64),
+            granule=np.array([1, 2, 3], dtype=np.int64),
+            is_write=np.array([False, True, False]),
+            cost=cost,
+            tlb_run_length=8.0,
+        )
+        replay = TraceWorkloadInstance("sparse", tiny_topo, trace)
+        bank = StreamBank(replay, SIM_SEED, 16)
+        ids, offsets, counts, scaled = bank.epoch_tracker(1)
+        assert ids.size == counts.size == scaled.size == 0
+        assert (offsets == 0).all()
+        assert_fused_matches_update(bank, replay, range(3))
+
+    def test_single_thread_epochs(self):
+        """A one-core machine produces a single COO segment."""
+        from repro.hardware.topology import NumaNode, NumaTopology
+
+        GIB = 1 << 30
+        solo = NumaTopology(
+            name="solo",
+            nodes=[NumaNode(node_id=0, n_cores=1, dram_bytes=2 * GIB)],
+            hop_matrix=np.array([[0]]),
+            cpu_freq_hz=2e9,
+        )
+        inst = make_instance(REGION_FACTORIES["mixed"](), solo)
+        assert inst.n_threads == 1
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        ids, offsets, counts, _ = bank.epoch_tracker(0)
+        assert offsets.shape == (2,)
+        np.testing.assert_array_equal(
+            ids, np.unique(bank.epoch_arrays(0)[0][0])
+        )
+        assert_fused_matches_update(bank, inst, range(inst.total_epochs))
+
+    def test_write_fraction_zero(self, tiny_topo):
+        inst = make_instance(
+            [SharedRegion("s", 4 * MIB, 1.0, write_fraction=0.0)], tiny_topo
+        )
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        assert_fused_matches_update(bank, inst, range(inst.total_epochs))
+
+    def test_max_thread_id_edge(self, tiny_topo):
+        """Only the highest thread id active: its segment must land at
+        the COO tail and own the sharing ``first`` entries."""
+        cost = CostProfile(cpu_seconds=0.1, mem_accesses=1e6, dram_accesses=1e5)
+        last = 3  # tiny_topo has 4 cores -> thread ids 0..3
+        trace = TraceData(
+            n_threads=4,
+            n_granules=64,
+            total_epochs=2,
+            thread=np.full(5, last, dtype=np.int64),
+            epoch=np.zeros(5, dtype=np.int64),
+            granule=np.array([7, 7, 9, 11, 9], dtype=np.int64),
+            is_write=np.zeros(5, dtype=bool),
+            cost=cost,
+            tlb_run_length=8.0,
+        )
+        replay = TraceWorkloadInstance("tail", tiny_topo, trace)
+        bank = StreamBank(replay, SIM_SEED, 16)
+        ids, offsets, counts, _ = bank.epoch_tracker(0)
+        assert (offsets[: last + 1] == 0).all()
+        np.testing.assert_array_equal(ids, [7, 9, 11])
+        np.testing.assert_array_equal(counts, [2, 2, 1])
+        p_ids, p_first, _, _ = bank.sharing_packed(0)
+        assert (p_first == last).all()
+        assert_fused_matches_update(bank, replay, range(2))
+
+    def test_ragged_and_full_paths_agree(self, tiny_topo):
+        """The vectorized row-sort aggregation (full rows) equals the
+        per-thread np.unique fallback on the same data."""
+        inst = make_instance(REGION_FACTORIES["mixed"](), tiny_topo)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        block, i = bank._ensure_row(2)
+        fast = bank._aggregate_tracker(block, i)
+        forced = bank.length
+        try:
+            bank.length = -1  # any mismatch forces the ragged path
+            slow = bank._aggregate_tracker(block, i)
+        finally:
+            bank.length = forced
+        for a, b in zip(fast, slow):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestPipelinedFill:
+    """Lazy, claimed, background-overlapped fills must be invisible:
+    every row bit-identical to the serial upfront fill."""
+
+    def _reference_rows(self, kind, tiny_topo, total_epochs):
+        inst = make_instance(REGION_FACTORIES[kind](), tiny_topo,
+                             total_epochs=total_epochs)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        rows = []
+        for epoch in range(total_epochs):
+            streams, writes, sizes = bank.epoch_arrays(epoch)
+            rows.append(
+                (
+                    streams.copy(),
+                    writes.copy(),
+                    sizes.copy(),
+                    bank.epoch_tracker(epoch),
+                    bank.sharing_packed(epoch),
+                    [r.bit_generator.state for r in bank.ibs_rngs(epoch)],
+                )
+            )
+        return rows
+
+    @pytest.mark.parametrize("kind", sorted(REGION_FACTORIES))
+    @pytest.mark.parametrize("consumers", [1, 2])
+    def test_prefill_bit_identical(self, kind, consumers, tiny_topo,
+                                   monkeypatch):
+        """Background prefill (serial and two-shard consumption) vs
+        the upfront fill, for every builtin region kind."""
+        total = 6
+        reference = self._reference_rows(kind, tiny_topo, total)
+
+        monkeypatch.setenv(STREAM_PREFETCH_ENV, "1")
+        inst = make_instance(REGION_FACTORIES[kind](), tiny_topo,
+                             total_epochs=total)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        errors = []
+
+        def consume(order):
+            try:
+                for epoch in order:
+                    bank.epoch_arrays(epoch)
+                    bank.epoch_tracker(epoch)
+                    bank.sharing_packed(epoch)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        if consumers == 1:
+            consume(range(total))
+        else:
+            # Two shards walking the bank from opposite ends exercises
+            # the per-row claim protocol from both directions while
+            # the prefill worker races them.
+            workers = [
+                threading.Thread(target=consume, args=(range(total),)),
+                threading.Thread(
+                    target=consume, args=(list(reversed(range(total))),)
+                ),
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=30)
+            assert not any(w.is_alive() for w in workers), "shard deadlock"
+        assert not errors
+        for epoch, (streams, writes, sizes, tracker, sharing,
+                    states) in enumerate(reference):
+            got_s, got_w, got_z = bank.epoch_arrays(epoch)
+            np.testing.assert_array_equal(got_s, streams)
+            np.testing.assert_array_equal(got_w, writes)
+            np.testing.assert_array_equal(got_z, sizes)
+            for a, b in zip(bank.epoch_tracker(epoch), tracker):
+                np.testing.assert_array_equal(a, b)
+            for a, b in zip(bank.sharing_packed(epoch), sharing):
+                np.testing.assert_array_equal(a, b)
+            got_states = [
+                r.bit_generator.state for r in bank.ibs_rngs(epoch)
+            ]
+            assert got_states == states
+
+    def test_worker_fills_ahead_of_consumption(self, tiny_topo, monkeypatch):
+        """Touching epoch 0 alone eventually materializes the whole
+        lookahead window in the background."""
+        monkeypatch.setenv(STREAM_PREFETCH_ENV, "1")
+        inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                             total_epochs=6)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        bank.epoch_arrays(0)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            with bank._lock:
+                block = bank._blocks.get(0)
+                done = block is not None and bool(block.filled.all())
+            if done:
+                break
+            time.sleep(0.005)
+        assert done, "prefill worker never completed the block"
+        for epoch in range(6):
+            assert_bank_matches_sequential(bank, inst, epoch)
+
+    def test_prefetch_disabled_stays_lazy(self, tiny_topo):
+        """With REPRO_STREAM_PREFETCH=0 (fixture default) only the
+        consumed row fills."""
+        inst = make_instance(REGION_FACTORIES["shared"](), tiny_topo,
+                             total_epochs=6)
+        bank = StreamBank(inst, SIM_SEED, LENGTH)
+        bank.epoch_arrays(0)
+        with bank._lock:
+            block = bank._blocks[0]
+            assert bool(block.filled[0])
+            assert not block.filled[1:].any()
+
+    def test_prefetch_auto_follows_core_count(self, monkeypatch):
+        """Unset env means auto: a worker needs a spare core to help;
+        on one core it only contends with the consuming simulation."""
+        monkeypatch.delenv(STREAM_PREFETCH_ENV, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert stream_prefetch_enabled()
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert not stream_prefetch_enabled()
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert not stream_prefetch_enabled()
+        # Explicit values win in both directions.
+        monkeypatch.setenv(STREAM_PREFETCH_ENV, "1")
+        assert stream_prefetch_enabled()
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setenv(STREAM_PREFETCH_ENV, "0")
+        assert not stream_prefetch_enabled()
 
 
 class TestEngineEquivalence:
