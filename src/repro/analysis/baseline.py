@@ -15,6 +15,16 @@ Workflow::
 Fixing a finding leaves a stale entry behind; ``--baseline-update``
 regenerates the file (CI diffs will show shrinkage, which reviewers
 should expect to be monotonic).
+
+Error handling distinguishes *usage mistakes* from *schema drift*: a
+missing baseline file or one written by an unknown schema raises the
+dedicated :class:`BaselineMissingError` / :class:`BaselineSchemaError`
+subclasses, which the CLI maps to exit code 3 — distinct from exit 2
+(generic usage error), so CI can tell "someone forgot to commit or
+regenerate the baseline" apart from "the invocation is wrong".  Files
+are stamped with a ``schema`` identifier so a future rule-set change
+can version the fingerprint format without silently invalidating (or
+silently accepting) old baselines.
 """
 
 from __future__ import annotations
@@ -27,6 +37,11 @@ from repro.analysis.linter import Finding
 
 #: Schema version written into baseline files.
 BASELINE_VERSION = 1
+
+#: Schema identifier stamped into baseline files.  Version-1 files
+#: written before the stamp existed (no ``schema`` key) are accepted;
+#: any *other* schema string is rejected as unknown.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
 
 
 def fingerprint(finding: Finding) -> str:
@@ -53,6 +68,7 @@ def write_baseline(
 ) -> None:
     """Write (or overwrite) a baseline file for the given findings."""
     payload = {
+        "schema": BASELINE_SCHEMA,
         "version": BASELINE_VERSION,
         "counts": dict(sorted(baseline_counts(findings).items())),
     }
@@ -60,23 +76,51 @@ def write_baseline(
 
 
 class BaselineError(ValueError):
-    """A baseline file is missing or malformed (CLI exit code 2)."""
+    """A baseline file is malformed (CLI exit code 2)."""
+
+
+class BaselineMissingError(BaselineError):
+    """The baseline file does not exist (CLI exit code 3).
+
+    Run ``repro lint ... --baseline <path> --baseline-update`` to create
+    it, or drop ``--baseline`` to lint without one.
+    """
+
+
+class BaselineSchemaError(BaselineError):
+    """The baseline was written by an unknown schema (CLI exit code 3).
+
+    Regenerate it with ``--baseline-update`` under the current tool.
+    """
 
 
 def load_baseline(path: pathlib.Path) -> Dict[str, int]:
-    """Read a baseline file, validating its shape."""
+    """Read a baseline file, validating its shape and schema."""
     path = pathlib.Path(path)
     try:
         payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise BaselineMissingError(
+            f"baseline {path} does not exist; create it with "
+            "--baseline-update or lint without --baseline"
+        ) from exc
     except OSError as exc:
         raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise BaselineError(f"malformed baseline {path}: {exc}") from exc
-    if (
-        not isinstance(payload, dict)
-        or payload.get("version") != BASELINE_VERSION
-        or not isinstance(payload.get("counts"), dict)
-    ):
+    if not isinstance(payload, dict):
+        raise BaselineError(
+            f"baseline {path} is not a lint baseline object"
+        )
+    schema = payload.get("schema", BASELINE_SCHEMA)
+    if schema != BASELINE_SCHEMA or payload.get("version") != BASELINE_VERSION:
+        raise BaselineSchemaError(
+            f"baseline {path} has unknown schema "
+            f"{schema!r} v{payload.get('version')!r} (expected "
+            f"{BASELINE_SCHEMA!r} v{BASELINE_VERSION}); regenerate it "
+            "with --baseline-update"
+        )
+    if not isinstance(payload.get("counts"), dict):
         raise BaselineError(
             f"baseline {path} is not a version-{BASELINE_VERSION} "
             "lint baseline"

@@ -1,4 +1,4 @@
-"""Whole-program lint rules R101-R108 (``repro lint --deep``).
+"""Whole-program lint rules R101-R113 (``repro lint --deep``).
 
 These rules need more than one file at a time: they run over a
 :class:`repro.analysis.callgraph.Project` (symbol table + call graph +
@@ -37,6 +37,15 @@ transitive write effects) and the units pass
   lock-order / blocking-call discipline, computed from thread entry
   points (``_THREAD_ENTRY_POINTS``) with an Eraser-style lockset
   fixpoint over the call graph.
+
+* **R109-R113** — the decision-kernel pass
+  (:mod:`repro.analysis.decisionflow`): handler exhaustiveness over the
+  executor's ``HANDLERS`` table, interprocedural decider purity,
+  generator-protocol misuse, accounting completeness against the
+  ``counters`` metadata, and conflict-domain declarations against the
+  ``domain`` metadata.  These rules are structure-driven (they key on a
+  ``Decision`` class hierarchy and a ``HANDLERS`` dispatch table) and
+  stay silent on trees without one.
 
 Registries are plain module-level tuples of dotted name fragments; a
 fragment matches a function when it appears as a contiguous dotted
@@ -356,6 +365,83 @@ class LockDiscipline(_ConcurrencyRule):
         return check_lock_discipline(model)
 
 
+class _DecisionFlowRule(DeepRule):
+    """Shared driver for R109-R113: one cached decision-kernel model."""
+
+    checker = staticmethod(lambda model: [])
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.decisionflow import decision_flow_model
+
+        model = decision_flow_model(project)
+        yield from type(self).checker(model)
+
+
+class HandlerExhaustiveness(_DecisionFlowRule):
+    """R109: every Decision subclass has a handler, and vice versa."""
+
+    rule_id = "R109"
+    title = "decision handler exhaustiveness"
+
+    @staticmethod
+    def checker(model):
+        from repro.analysis.decisionflow import check_exhaustiveness
+
+        return check_exhaustiveness(model)
+
+
+class DeciderPurity(_DecisionFlowRule):
+    """R110: nothing reachable from decide() mutates simulation state."""
+
+    rule_id = "R110"
+    title = "interprocedural decider purity"
+
+    @staticmethod
+    def checker(model):
+        from repro.analysis.decisionflow import check_purity
+
+        return check_purity(model)
+
+
+class GeneratorProtocol(_DecisionFlowRule):
+    """R111: decider generators speak the yield/send protocol correctly."""
+
+    rule_id = "R111"
+    title = "generator-protocol misuse"
+
+    @staticmethod
+    def checker(model):
+        from repro.analysis.decisionflow import check_generator_protocol
+
+        return check_generator_protocol(model)
+
+
+class AccountingCompleteness(_DecisionFlowRule):
+    """R112: handler write effects match the declared counter map."""
+
+    rule_id = "R112"
+    title = "accounting completeness"
+
+    @staticmethod
+    def checker(model):
+        from repro.analysis.decisionflow import check_accounting
+
+        return check_accounting(model)
+
+
+class ConflictDomains(_DecisionFlowRule):
+    """R113: domain metadata, targets() and executor claims agree."""
+
+    rule_id = "R113"
+    title = "conflict-domain declarations"
+
+    @staticmethod
+    def checker(model):
+        from repro.analysis.decisionflow import check_conflict_domains
+
+        return check_conflict_domains(model)
+
+
 #: Rationale text for ``repro lint --deep --explain RULE``.
 RULE_RATIONALE: Dict[str, str] = {
     "R101": (
@@ -406,6 +492,41 @@ RULE_RATIONALE: Dict[str, str] = {
         "every other shard on the critical section. Keep a single\n"
         "global acquisition order and move I/O outside locks."
     ),
+    "R109": (
+        "Every concrete Decision subclass needs an entry in the\n"
+        "executor's HANDLERS table (and every _apply_* handler must be\n"
+        "reachable through it): a decision without a handler is a\n"
+        "runtime SimulationError waiting for the first policy that\n"
+        "yields it."
+    ),
+    "R110": (
+        "Policies are pure deciders: nothing reachable from decide()\n"
+        "may write AddressSpace / allocator / tracker state through the\n"
+        "sim argument. The callgraph write-effect fixpoint proves this\n"
+        "through any depth of calls; mutations belong in Decision\n"
+        "handlers, where conflict claims and accounting see them."
+    ),
+    "R111": (
+        "Decider generators speak a strict protocol: yield Decision\n"
+        "objects only, never return a value run_interval would drop,\n"
+        "and bind the Outcome before accounting budgets — a discarded\n"
+        "Outcome means the budget counts work that may never have\n"
+        "happened."
+    ),
+    "R112": (
+        "Each Decision declares the PolicyActionSummary counters its\n"
+        "handler must touch; handler write effects are matched against\n"
+        "the declaration both ways, and every conserved field the\n"
+        "invariant checker reconciles must be declared by some\n"
+        "decision — unaccounted work breaks conservation at runtime."
+    ),
+    "R113": (
+        "Each Decision declares its conflict domain (page / thp / pt /\n"
+        "none); the literal target kinds in targets() must agree, and\n"
+        "the executor's CONFLICT_DOMAINS must equal exactly the set of\n"
+        "declared non-none domains — otherwise first-member-wins\n"
+        "arbitration has silent gaps."
+    ),
 }
 
 
@@ -420,6 +541,17 @@ def explain_rule(rule_id: str, project: Optional[Project] = None) -> Optional[st
 
         lines.append("")
         lines.append(concurrency_model(project).describe())
+    if project is not None and rule_id in (
+        "R109",
+        "R110",
+        "R111",
+        "R112",
+        "R113",
+    ):
+        from repro.analysis.decisionflow import decision_flow_model
+
+        lines.append("")
+        lines.append(decision_flow_model(project).describe())
     return "\n".join(lines)
 
 
@@ -433,6 +565,11 @@ ALL_DEEP_RULES: Tuple[type, ...] = (
     InconsistentLocking,
     LockedStateEscape,
     LockDiscipline,
+    HandlerExhaustiveness,
+    DeciderPurity,
+    GeneratorProtocol,
+    AccountingCompleteness,
+    ConflictDomains,
 )
 
 
@@ -458,7 +595,7 @@ def deep_lint_project(
             if ctx is not None and ctx.is_suppressed(finding.line, finding.rule):
                 continue
             findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings.sort(key=Finding.sort_key)
     return findings
 
 

@@ -70,6 +70,16 @@ class Finding:
     chain: Tuple[str, ...] = ()
     lockset: Tuple[str, ...] = ()
 
+    def sort_key(self) -> Tuple[str, int, str, int, str]:
+        """Canonical output order: path, line, rule id, col, message.
+
+        Every façade (``lint_source``, ``lint_paths``, the deep pass and
+        the CLI's merged output) sorts with this one key, so baselines
+        and CI logs are stable across rule families and rule-execution
+        order.
+        """
+        return (self.path, self.line, self.rule, self.col, self.message)
+
     def format_text(self) -> str:
         """``path:line:col: RULE message`` (editor-clickable)."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -217,7 +227,7 @@ def lint_source(
     findings: List[Finding] = []
     for rule in rules:
         findings.extend(rule.run(ctx))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings.sort(key=Finding.sort_key)
     return findings
 
 
@@ -247,18 +257,27 @@ def lint_paths(
                     f"syntax error: {exc.msg}",
                 )
             )
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings.sort(key=Finding.sort_key)
     return findings
 
 
 def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
-    """Render findings as ``text`` (one per line) or ``json``."""
+    """Render findings as ``text``, ``json`` or ``sarif``.
+
+    The ``json`` payload shape is a stable contract (CI and editor
+    integrations parse it); ``sarif`` emits a SARIF 2.1.0 log for
+    GitHub code scanning (:mod:`repro.analysis.sarif`).
+    """
     if fmt == "json":
         payload = {
             "findings": [f.to_dict() for f in findings],
             "count": len(findings),
         }
         return json.dumps(payload, indent=2)
+    if fmt == "sarif":
+        from repro.analysis.sarif import format_sarif
+
+        return format_sarif(findings)
     if fmt != "text":
         raise ValueError(f"unknown format {fmt!r}")
     lines = [f.format_text() for f in findings]

@@ -22,7 +22,7 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
-from repro.analysis.linter import format_findings, lint_paths
+from repro.analysis.linter import Finding, format_findings, lint_paths
 from repro.experiments.cache import CACHE_ENABLE_ENV, ResultCache
 from repro.experiments.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.parallel import BACKEND_ENV, JOBS_ENV
@@ -107,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cmd = sub.add_parser(
         "lint",
-        help="run the determinism linter (R001-R005; --deep adds R101-R108)",
+        help="run the determinism linter (R001-R005; --deep adds R101-R113)",
     )
     lint_cmd.add_argument(
         "paths",
@@ -118,24 +118,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument(
         "--format",
         dest="lint_format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (json for CI consumption)",
+        help="output format (json for CI consumption, sarif for"
+        " GitHub code scanning)",
     )
     lint_cmd.add_argument(
         "--deep",
         action="store_true",
-        help="also run the whole-program rules R101-R108 (call-graph"
-        " effect inference, units-of-measure checking and the"
-        " concurrency-safety pass)",
+        help="also run the whole-program rules R101-R113 (call-graph"
+        " effect inference, units-of-measure checking, the"
+        " concurrency-safety pass and the decision-flow contract"
+        " analyzer)",
     )
     lint_cmd.add_argument(
         "--explain",
         default=None,
         metavar="RULE",
-        help="print a deep rule's rationale plus, for R105-R108, the"
-        " inferred thread entry points and per-object locksets"
-        " (implies --deep for R101-R108)",
+        help="print a deep rule's rationale plus its inferred model:"
+        " thread entry points and locksets for R105-R108, the decision"
+        " kernel (decisions, handlers, policy roots) for R109-R113"
+        " (implies --deep)",
     )
     lint_cmd.add_argument(
         "--baseline",
@@ -211,13 +214,16 @@ def _lint_main(args: argparse.Namespace) -> int:
     """Run the determinism linter.
 
     Exit codes: 0 clean (or no findings beyond the baseline), 1 when
-    reportable findings exist, 2 on usage errors (bad flags, missing or
-    malformed baseline).
+    reportable findings exist, 2 on usage errors (bad flags, malformed
+    baseline), 3 when the baseline file is missing or was written by an
+    unknown schema version (regenerate with --baseline-update).
     """
     import time
 
     from repro.analysis.baseline import (
         BaselineError,
+        BaselineMissingError,
+        BaselineSchemaError,
         filter_new,
         load_baseline,
         write_baseline,
@@ -253,7 +259,7 @@ def _lint_main(args: argparse.Namespace) -> int:
         t0 = time.perf_counter()
         project = Project.from_paths(targets)
         findings = findings + deep_lint_project(project)
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        findings.sort(key=Finding.sort_key)
         elapsed = time.perf_counter() - t0
         print(f"deep analysis: {elapsed:.2f}s", file=sys.stderr)
         if explain is not None:
@@ -278,6 +284,9 @@ def _lint_main(args: argparse.Namespace) -> int:
     if args.baseline:
         try:
             baseline = load_baseline(pathlib.Path(args.baseline))
+        except (BaselineMissingError, BaselineSchemaError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
         except BaselineError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

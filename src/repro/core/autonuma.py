@@ -26,7 +26,7 @@ migrations are charged through the usual cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, TYPE_CHECKING, Tuple
+from typing import Dict, Generator, Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
 from repro.core.metrics import PageSampleTable
-from repro.sim.decisions import ChargeCompute, Decision, MigratePage, Note
+from repro.sim.decisions import ChargeCompute, Decision, MigratePage, Note, Outcome
 from repro.sim.policy import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -96,7 +96,7 @@ class AutoNumaPolicy(PlacementPolicy):
 
     def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         # Every sampled access is a hint fault the scanner provoked.
         yield ChargeCompute(len(samples) * self.config.hint_fault_cost_s)
         if len(samples) == 0:

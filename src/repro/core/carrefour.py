@@ -22,7 +22,7 @@ back — it never touches the address space itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Set, TYPE_CHECKING
+from typing import Generator, Optional, Set, TYPE_CHECKING
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.sim.decisions import (
     Decision,
     MigratePage,
     Note,
+    Outcome,
     ReplicatePage,
 )
 from repro.sim.policy import PlacementPolicy
@@ -106,7 +107,7 @@ class CarrefourEngine:
         table: PageSampleTable,
         address_space: AddressSpace,
         n_nodes: int,
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         """Yield the migrate/interleave decision for every sampled page."""
         cfg = self.config
         yield ChargeCompute(table.n_samples * cfg.compute_s_per_sample)
@@ -218,7 +219,7 @@ class CarrefourPolicy(PlacementPolicy):
 
     def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         if not self.engine.should_engage(window):
             yield Note("carrefour disabled (thresholds)")
             return

@@ -21,7 +21,7 @@ the configurations of Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, TYPE_CHECKING
+from typing import Generator, List, Optional, TYPE_CHECKING
 
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
@@ -33,7 +33,7 @@ from repro.core.conservative import (
 )
 from repro.core.metrics import PageSampleTable
 from repro.core.reactive import ReactiveComponent, ReactiveConfig, ReactiveDecision
-from repro.sim.decisions import Decision, Note
+from repro.sim.decisions import Decision, Note, Outcome
 from repro.sim.policy import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -111,7 +111,7 @@ class CarrefourLpPolicy(PlacementPolicy):
 
     def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         cons_decision = None
         react_decision = None
 

@@ -27,11 +27,11 @@ Mitosis's table placement in one stack.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, TYPE_CHECKING
+from typing import Generator, Optional, TYPE_CHECKING
 
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
-from repro.sim.decisions import Decision, ReplicatePageTables
+from repro.sim.decisions import Decision, Outcome, ReplicatePageTables
 from repro.sim.policy import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,7 +58,7 @@ class PtReplicationPolicy(PlacementPolicy):
 
     def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         if not self.replicate or self._done:
             return
         outcome = yield ReplicatePageTables()

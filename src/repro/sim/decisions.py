@@ -16,12 +16,29 @@ deciders' decisions on the same target are skipped with
 
 Decisions also know how to serialise themselves (:meth:`payload`) for
 the JSONL decision trace (:mod:`repro.sim.trace`).
+
+Every concrete decision class additionally carries two pieces of
+*class metadata* that the decision-flow analyzer
+(:mod:`repro.analysis.decisionflow`, rules R109-R113) checks statically
+against the executor:
+
+* :attr:`Decision.domain` — the conflict domain its :meth:`targets`
+  keys live in (``"page"``, ``"thp"``, ``"pt"``, or ``"none"`` for
+  purely accounting decisions).  R113 proves the declared domains, the
+  literal kind strings in ``targets()``, and the executor's
+  ``CONFLICT_DOMAINS`` claim coverage all agree.
+* :attr:`Decision.counters` — the :class:`PolicyActionSummary` fields
+  the executor's apply-handler must touch.  R112 matches this map
+  against the handler's inferred write effects, so a handler that
+  mutates state without bumping its conservation counters (or bumps a
+  counter it never declared) is a lint error, not a reconciliation
+  surprise in the invariant checker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import ClassVar, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -48,9 +65,20 @@ class Outcome:
     reason: str = ""
 
 
+#: Valid values for :attr:`Decision.domain`.
+CONFLICT_DOMAIN_NAMES: Tuple[str, ...] = ("page", "thp", "pt", "none")
+
+
 @dataclass(frozen=True)
 class Decision:
     """Base decision; subclasses define what state they act on."""
+
+    #: Conflict domain of :meth:`targets` keys ("page", "thp", "pt" or
+    #: "none").  Checked against targets() and the executor by R113.
+    domain: ClassVar[str] = "none"
+    #: PolicyActionSummary fields the executor's handler must touch.
+    #: Checked against the handler's write effects by R112.
+    counters: ClassVar[Tuple[str, ...]] = ()
 
     def targets(self) -> Tuple[Target, ...]:
         """Conflict-target keys this decision claims (may be empty)."""
@@ -65,6 +93,9 @@ class Decision:
 class ChargeCompute(Decision):
     """Charge daemon compute time (sample processing etc.), seconds."""
 
+    domain: ClassVar[str] = "none"
+    counters: ClassVar[Tuple[str, ...]] = ("compute_s",)
+
     seconds: float
 
     def payload(self) -> dict:
@@ -75,6 +106,9 @@ class ChargeCompute(Decision):
 class Note(Decision):
     """Attach a human-readable note to the interval's action summary."""
 
+    domain: ClassVar[str] = "none"
+    counters: ClassVar[Tuple[str, ...]] = ("notes", "notes_dropped")
+
     text: str
 
     def payload(self) -> dict:
@@ -84,6 +118,13 @@ class Note(Decision):
 @dataclass(frozen=True)
 class MigratePage(Decision):
     """Migrate one backing page (any size) to ``target_node``."""
+
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = (
+        "bytes_migrated",
+        "migrated_4k",
+        "migrated_2m",
+    )
 
     page_id: int
     target_node: NodeId
@@ -107,6 +148,9 @@ class InterleaveRegion(Decision):
     expensive and ambiguous; identity semantics are what the executor
     needs.
     """
+
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = ("bytes_migrated", "migrated_4k")
 
     granules: Pages4KArray
     target_nodes: NodeArray
@@ -133,6 +177,9 @@ class InterleaveRegion(Decision):
 class Split2M(Decision):
     """Demote one 2MB backing page into 512 4KB pages."""
 
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = ("splits_2m",)
+
     page_id: int
     #: madvise the demoted range NOHUGEPAGE so khugepaged does not
     #: immediately undo the decision.
@@ -153,6 +200,9 @@ class Split2M(Decision):
 class Split1G(Decision):
     """Demote one 1GB backing page into 4KB pages."""
 
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = ("splits_1g",)
+
     page_id: int
     block_collapse: bool = True
 
@@ -171,6 +221,9 @@ class Split1G(Decision):
 class Collapse2M(Decision):
     """Promote one fully 4KB-mapped 2MB chunk into a huge page."""
 
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = ("collapses_2m",)
+
     chunk: int
     #: Explicit target node; plurality node of the constituents if None.
     node: Optional[NodeId] = None
@@ -188,6 +241,8 @@ class Collapse2M(Decision):
 class ToggleThpAlloc(Decision):
     """Enable or disable THP allocation-time backing."""
 
+    domain: ClassVar[str] = "thp"
+
     enabled: bool
 
     def targets(self) -> Tuple[Target, ...]:
@@ -200,6 +255,8 @@ class ToggleThpAlloc(Decision):
 @dataclass(frozen=True)
 class ToggleThpPromotion(Decision):
     """Enable or disable khugepaged promotion."""
+
+    domain: ClassVar[str] = "thp"
 
     enabled: bool
 
@@ -214,6 +271,8 @@ class ToggleThpPromotion(Decision):
 class ClearCollapseBlocks(Decision):
     """Lift every MADV_NOHUGEPAGE mark left by earlier splits."""
 
+    domain: ClassVar[str] = "thp"
+
     def targets(self) -> Tuple[Target, ...]:
         return (("thp", "collapse_blocks"),)
 
@@ -224,6 +283,12 @@ class ClearCollapseBlocks(Decision):
 @dataclass(frozen=True)
 class ReplicatePage(Decision):
     """Replicate one read-mostly backing page onto every node."""
+
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = (
+        "bytes_replicated",
+        "replicated_pages",
+    )
 
     page_id: int
 
@@ -237,6 +302,12 @@ class ReplicatePage(Decision):
 @dataclass(frozen=True)
 class ReplicatePageTables(Decision):
     """Replicate the process page tables onto every node (Mitosis)."""
+
+    domain: ClassVar[str] = "pt"
+    counters: ClassVar[Tuple[str, ...]] = (
+        "bytes_replicated",
+        "replicated_pages",
+    )
 
     def targets(self) -> Tuple[Target, ...]:
         return (("pt", "replication"),)
@@ -253,6 +324,21 @@ class MergeSummary(Decision):
     still implement ``on_interval`` directly (external subclasses); the
     in-tree policies all emit fine-grained decisions instead.
     """
+
+    domain: ClassVar[str] = "none"
+    counters: ClassVar[Tuple[str, ...]] = (
+        "migrated_4k",
+        "migrated_2m",
+        "bytes_migrated",
+        "splits_2m",
+        "splits_1g",
+        "collapses_2m",
+        "replicated_pages",
+        "bytes_replicated",
+        "compute_s",
+        "notes",
+        "notes_dropped",
+    )
 
     summary: "PolicyActionSummary"
 

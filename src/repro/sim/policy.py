@@ -17,12 +17,12 @@ traceable (:mod:`repro.sim.trace`) and policies composable
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Iterator, List, Optional, Sequence, TYPE_CHECKING
+from typing import ClassVar, Generator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.hardware.counters import CounterBank
 from repro.hardware.ibs import IbsSamples
-from repro.sim.decisions import Decision, MergeSummary
+from repro.sim.decisions import Decision, MergeSummary, Outcome
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -111,7 +111,7 @@ class PlacementPolicy:
 
     def decide(
         self, sim: "Simulation", samples: IbsSamples, window: CounterBank
-    ) -> Iterator[Decision]:
+    ) -> Generator[Decision, Outcome, None]:
         """One daemon invocation: yield decisions for the executor.
 
         The executor ``send()``s an :class:`~repro.sim.decisions.Outcome`

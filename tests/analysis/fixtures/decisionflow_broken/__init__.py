@@ -1,0 +1,7 @@
+"""Deliberately broken decision kernel for the R109-R113 CI step.
+
+CI runs ``repro lint --deep`` over this package and asserts the run
+*fails* with the expected rule ids — proving the decision-flow rules
+actually gate a broken kernel rather than silently passing.  Each
+module documents which rules it violates.  Never "fix" these files.
+"""

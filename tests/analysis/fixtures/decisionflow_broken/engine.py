@@ -1,0 +1,30 @@
+"""Executor whose HANDLERS table does not cover every decision (R109)."""
+
+from typing import Callable, ClassVar, Dict, Tuple, Type
+
+from .decisions import Decision, MigratePage
+
+
+class Outcome:
+    def __init__(self, applied):
+        self.applied = applied
+
+
+class BrokenExecutor:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _apply_migrate_page(self, decision, summary):
+        summary.bytes_migrated += 4096
+        return Outcome(True)
+
+    HANDLERS: ClassVar[Dict[Type[Decision], Callable]] = {
+        MigratePage: _apply_migrate_page,
+        # OrphanDecision and ConfusedDecision are missing: R109.
+    }
+
+    CONFLICT_DOMAINS: ClassVar[Tuple[str, ...]] = ("page",)
+
+    def _execute(self, decision, summary):
+        handler = self.HANDLERS[type(decision)]
+        return handler(self, decision, summary)

@@ -1,9 +1,10 @@
 """CLI contract tests for ``repro lint``.
 
 Pins the externally observable behaviour CI depends on: exit codes
-(0 clean / 1 findings / 2 usage error), the ``--format json`` schema,
-the baseline workflow, suppression-comment parsing edge cases, and the
-sim-path scoping rules.
+(0 clean / 1 findings / 2 usage error / 3 missing-or-unknown-schema
+baseline), the ``--format json`` schema, the SARIF output, canonical
+finding order, the baseline workflow, suppression-comment parsing edge
+cases, and the sim-path scoping rules.
 """
 
 from __future__ import annotations
@@ -55,11 +56,27 @@ def test_exit_2_on_baseline_update_without_baseline(sim_tree, capsys):
     assert "--baseline-update requires --baseline" in capsys.readouterr().err
 
 
-def test_exit_2_on_missing_baseline(sim_tree, tmp_path, capsys):
+def test_exit_3_on_missing_baseline(sim_tree, tmp_path, capsys):
     (sim_tree / "ok.py").write_text(CLEAN_SRC)
     absent = tmp_path / "absent.json"
-    assert main(["lint", str(sim_tree), "--baseline", str(absent)]) == 2
-    assert "error:" in capsys.readouterr().err
+    assert main(["lint", str(sim_tree), "--baseline", str(absent)]) == 3
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+    assert "--baseline-update" in err
+
+
+def test_exit_3_on_unknown_baseline_schema(sim_tree, tmp_path, capsys):
+    (sim_tree / "ok.py").write_text(CLEAN_SRC)
+    stale = tmp_path / "stale.json"
+    stale.write_text(
+        json.dumps(
+            {"schema": "repro-lint-baseline/99", "version": 99, "counts": {}}
+        )
+    )
+    assert main(["lint", str(sim_tree), "--baseline", str(stale)]) == 3
+    err = capsys.readouterr().err
+    assert "unknown schema" in err
+    assert "--baseline-update" in err
 
 
 def test_exit_2_on_malformed_baseline(sim_tree, tmp_path, capsys):
@@ -68,6 +85,21 @@ def test_exit_2_on_malformed_baseline(sim_tree, tmp_path, capsys):
     bad.write_text("{not json")
     assert main(["lint", str(sim_tree), "--baseline", str(bad)]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_legacy_unstamped_baseline_still_loads(sim_tree, tmp_path, capsys):
+    # Version-1 files written before the ``schema`` stamp existed carry
+    # no ``schema`` key; they must keep working.
+    (sim_tree / "bad.py").write_text(CLOCK_SRC)
+    baseline = tmp_path / "legacy.json"
+    args = ["lint", str(sim_tree), "--baseline", str(baseline)]
+    assert main(args + ["--baseline-update"]) == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["schema"] == "repro-lint-baseline/1"  # stamped on write
+    del payload["schema"]
+    baseline.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert main(args) == 0
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +119,79 @@ def test_json_schema_on_clean_tree(sim_tree, capsys):
     (sim_tree / "ok.py").write_text(CLEAN_SRC)
     assert main(["lint", str(sim_tree), "--format", "json"]) == 0
     assert json.loads(capsys.readouterr().out) == {"findings": [], "count": 0}
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+def test_sarif_output_is_valid_2_1_0(sim_tree, capsys):
+    (sim_tree / "bad.py").write_text(CLOCK_SRC)
+    assert main(["lint", str(sim_tree), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    # Every shallow + deep rule is declared up front, findings or not.
+    for rule_id in ("R002", "R101", "R109", "R113"):
+        assert rule_id in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "R002"
+    assert rule_ids[result["ruleIndex"]] == "R002"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert "\\" not in uri
+
+
+def test_sarif_clean_tree_still_emits_log(sim_tree, capsys):
+    (sim_tree / "ok.py").write_text(CLEAN_SRC)
+    assert main(["lint", str(sim_tree), "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_sarif_carries_chain_as_properties():
+    from repro.analysis.linter import Finding
+    from repro.analysis.sarif import to_sarif
+
+    finding = Finding(
+        "R110", "sim/x.py", 3, 1, "decider mutates sim",
+        chain=("Policy.decide", "helper"),
+    )
+    (result,) = to_sarif([finding])["runs"][0]["results"]
+    assert result["properties"]["chain"] == ["Policy.decide", "helper"]
+
+
+# ----------------------------------------------------------------------
+# Canonical ordering
+# ----------------------------------------------------------------------
+def test_finding_order_is_path_line_rule(sim_tree, capsys):
+    """The pinned sort key: (path, line, rule id) across rule families.
+
+    ``a.py`` triggers shallow R002 at line 5 and deep R103 at line 8;
+    ``b.py`` triggers R002 again.  Output must interleave by path then
+    line, not by which rule family produced the finding.
+    """
+    (sim_tree / "a.py").write_text(
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.time()\n\n\n"
+        "def footprint(n_granules, nbytes):\n"
+        "    return n_granules + nbytes\n"
+    )
+    (sim_tree / "b.py").write_text(CLOCK_SRC)
+    assert main(["lint", str(sim_tree), "--deep", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    triples = [
+        (f["path"], f["line"], f["rule"]) for f in payload["findings"]
+    ]
+    assert triples == sorted(triples)
+    assert [t[2] for t in triples] == ["R002", "R103", "R002"]
 
 
 # ----------------------------------------------------------------------

@@ -1,11 +1,17 @@
-"""The decision-kernel contract: ``core/`` policies never mutate state.
+"""Syntactic regression guard for the decider-purity boundary.
 
-After the observe -> decide -> act refactor, every policy module under
-``repro/core/`` is a decider: it may read the address space and keep
-private state, but all mutation goes through typed decisions executed
-by :class:`repro.sim.engine.ActionExecutor`.  This test pins that
-boundary syntactically so a future policy can't quietly reach around
-the executor.
+The authoritative check is now the interprocedural lint rule **R110**
+(:func:`repro.analysis.decisionflow.check_purity`): a write-effect
+fixpoint over the whole call graph that proves nothing reachable from a
+policy ``decide()`` writes simulation state, however many calls deep.
+``tests/analysis/test_decisionflow.py::test_shipped_policies_prove_pure_under_r110``
+pins that proof for every registered policy.
+
+This file is the cheap syntactic backstop it grew from: a name-based
+scan of ``repro/core/`` for known AddressSpace/ThpState mutator calls.
+It cannot see through helpers the way R110 does, but it runs without
+the call-graph machinery and keeps failing loudly if the analysis
+package itself is broken — so it stays as a regression guard.
 """
 
 import ast

@@ -331,3 +331,71 @@ class TestPolicyStack:
         assert outcome.bytes_moved == 0
         assert outcome.count == 0
         assert outcome.reason == ""
+
+
+class TestDecisionMetadata:
+    """The class-level contracts the R109-R113 lint rules verify."""
+
+    def all_decision_classes(self):
+        import repro.sim.decisions as mod
+        from repro.sim.decisions import Decision
+
+        return [
+            obj
+            for obj in vars(mod).values()
+            if isinstance(obj, type)
+            and issubclass(obj, Decision)
+            and obj is not Decision
+        ]
+
+    def test_every_decision_declares_domain_and_counters(self):
+        from repro.sim.decisions import CONFLICT_DOMAIN_NAMES
+
+        for cls in self.all_decision_classes():
+            assert cls.domain in CONFLICT_DOMAIN_NAMES, cls.__name__
+            assert isinstance(cls.counters, tuple), cls.__name__
+            summary_fields = set(vars(PolicyActionSummary()).keys())
+            for counter in cls.counters:
+                assert counter in summary_fields, (
+                    f"{cls.__name__}.counters names unknown summary "
+                    f"field {counter!r}"
+                )
+
+    def test_mutating_domains_match_targets(self):
+        # A decision claiming page/pt targets must declare that domain,
+        # or the executor's conflict arbitration would miss it.
+        from repro.sim.decisions import MigratePage, ReplicatePageTables
+
+        assert MigratePage.domain == "page"
+        assert MigratePage(0, 1).targets()[0][0] == "page"
+        assert ReplicatePageTables.domain == "pt"
+
+    def test_handler_table_covers_every_decision(self):
+        handled = set(ActionExecutor.HANDLERS)
+        assert handled == set(self.all_decision_classes())
+        for method in ActionExecutor.HANDLERS.values():
+            assert method.__name__.startswith("_apply_")
+            assert hasattr(ActionExecutor, method.__name__)
+
+    def test_metadata_does_not_change_frozen_semantics(self):
+        decision = MigratePage(3, 1)
+        with pytest.raises(Exception):
+            decision.page_id = 4  # still a frozen dataclass
+        # ClassVar metadata stays off the instance fields.
+        assert "domain" not in vars(decision)
+        assert "counters" not in vars(decision)
+
+    def test_unknown_decision_type_is_an_error(self):
+        from dataclasses import dataclass
+
+        from repro.errors import SimulationError
+        from repro.sim.decisions import Decision
+
+        @dataclass(frozen=True)
+        class Rogue(Decision):
+            pass
+
+        host = make_host()
+        executor = ActionExecutor(host)
+        with pytest.raises(SimulationError, match="unknown decision type"):
+            executor.drive(gen_of(Rogue()), PolicyActionSummary())
