@@ -65,33 +65,50 @@ def _timed_run(
     return elapsed
 
 
-def _timed_invariant_overhead(settings) -> dict:
+def _timed_invariant_overhead(settings, repeats: int = 3) -> dict:
     """Wall-clock for CG.D@B with per-epoch invariant checking off/on.
 
     Uses ``execute_run`` (no caching at either level) so both passes
     really simulate; ``REPRO_CHECK`` must not override the config flag,
     so it is cleared for the measurement.
+
+    A single off/on pair is dominated by warm-up noise (allocator and
+    stream-bank caches, CPU frequency) and has historically reported
+    negative overhead for a strictly-additive check.  Each arm is
+    therefore timed ``repeats`` times interleaved, the raw timings are
+    recorded, and the overhead is computed best-of-N against best-of-N
+    — minima are the noise-robust estimator for a lower-bounded cost.
     """
     old_env = os.environ.pop(CHECK_ENV, None)
     try:
-        timings = {}
-        for label, checked in (("off", False), ("on", True)):
-            cfg = dataclasses.replace(settings.config, check_invariants=checked)
-            run_settings = dataclasses.replace(settings, config=cfg)
-            start = time.perf_counter()
-            execute_run("CG.D", "B", "carrefour-lp", run_settings)
-            timings[label] = time.perf_counter() - start
+        raw = {"off": [], "on": []}
+        for _ in range(repeats):
+            # Interleave the arms so drift (thermal, competing load)
+            # hits both equally instead of biasing the second arm.
+            for label, checked in (("off", False), ("on", True)):
+                cfg = dataclasses.replace(
+                    settings.config, check_invariants=checked
+                )
+                run_settings = dataclasses.replace(settings, config=cfg)
+                start = time.perf_counter()
+                execute_run("CG.D", "B", "carrefour-lp", run_settings)
+                raw[label].append(time.perf_counter() - start)
     finally:
         if old_env is not None:
             os.environ[CHECK_ENV] = old_env
+    best_off = min(raw["off"])
+    best_on = min(raw["on"])
     return {
         "run": "CG.D@B/carrefour-lp",
-        "unchecked_wall_s": round(timings["off"], 3),
-        "checked_wall_s": round(timings["on"], 3),
+        "repeats": repeats,
+        "unchecked_wall_s_raw": [round(s, 3) for s in raw["off"]],
+        "checked_wall_s_raw": [round(s, 3) for s in raw["on"]],
+        "unchecked_wall_s": round(best_off, 3),
+        "checked_wall_s": round(best_on, 3),
         "overhead_pct": round(
-            100.0 * (timings["on"] - timings["off"]) / timings["off"], 1
+            100.0 * (best_on - best_off) / best_off, 1
         )
-        if timings["off"]
+        if best_off
         else None,
     }
 

@@ -140,6 +140,27 @@ class FunctionInfo:
         default_factory=dict
     )
     global_names: Set[str] = field(default_factory=set)
+    #: Cached flat body traversal (``walk_body``) — several analysis
+    #: passes iterate every body node; walking the AST once and sharing
+    #: the list keeps whole-program lint inside its time budget.
+    _body_nodes: Optional[List[ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def walk_body(self) -> List[ast.AST]:
+        """Every node in the function body, in ``ast.walk`` order.
+
+        Equivalent to ``ast.walk`` over each body statement (nested
+        definitions included, the header/decorators excluded), computed
+        once per function and reused across analysis passes.
+        """
+        if self._body_nodes is None:
+            self._body_nodes = [
+                node
+                for stmt in getattr(self.node, "body", [])
+                for node in ast.walk(stmt)
+            ]
+        return self._body_nodes
 
 
 def _attr_chain(node: ast.AST) -> Optional[str]:
@@ -587,20 +608,18 @@ class _FunctionScanner:
         self.info = info
 
     def scan(self) -> None:
-        body = getattr(self.info.node, "body", [])
-        self._collect_globals(body)
-        self._collect_aliases(body)
-        for stmt in body:
-            for node in ast.walk(stmt):
-                self._visit(node)
+        nodes = self.info.walk_body()
+        self._collect_globals(nodes)
+        self._collect_aliases(nodes)
+        for node in nodes:
+            self._visit(node)
 
-    def _collect_globals(self, body) -> None:
-        for stmt in body:
-            for node in ast.walk(stmt):
-                if isinstance(node, (ast.Global, ast.Nonlocal)):
-                    self.info.global_names |= set(node.names)
+    def _collect_globals(self, nodes) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                self.info.global_names |= set(node.names)
 
-    def _collect_aliases(self, body) -> None:
+    def _collect_aliases(self, nodes) -> None:
         """Flow-insensitive ``name = <path expr>`` alias map.
 
         A name assigned more than once, or assigned a non-path value,
@@ -608,21 +627,20 @@ class _FunctionScanner:
         rebound local never re-acquires parameter effects).
         """
         info = self.info
-        for stmt in body:
-            for node in ast.walk(stmt):
-                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
-                    continue
-                target = node.targets[0]
-                if not isinstance(target, ast.Name):
-                    continue
-                name = target.id
-                if name in info.params:
-                    continue  # reassigned params keep param attribution
-                resolved = resolve_expr(info, node.value)
-                if name in info.aliases or resolved is None:
-                    info.aliases[name] = None
-                else:
-                    info.aliases[name] = resolved
+        for node in nodes:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name in info.params:
+                continue  # reassigned params keep param attribution
+            resolved = resolve_expr(info, node.value)
+            if name in info.aliases or resolved is None:
+                info.aliases[name] = None
+            else:
+                info.aliases[name] = resolved
 
     # ------------------------------------------------------------------
     def _visit(self, node: ast.AST) -> None:

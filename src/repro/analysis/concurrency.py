@@ -292,7 +292,7 @@ class ConcurrencyModel:
                 continue
             class_qual = f"{info.module}.{info.class_name}"
             receiver = info.params[0]
-            for node in ast.walk(info.node):
+            for node in info.walk_body():
                 if not isinstance(node, ast.Assign):
                     continue
                 for target in node.targets:
@@ -317,7 +317,7 @@ class ConcurrencyModel:
             info = self.project.functions[qualname]
             assigns = [
                 node
-                for node in ast.walk(info.node)
+                for node in info.walk_body()
                 if isinstance(node, ast.Assign)
             ]
             ctor_types: Dict[str, str] = {}

@@ -65,6 +65,8 @@ _ACTION_FIELDS = (
     "collapses_2m",
     "replicated_pages",
     "bytes_replicated",
+    "pages_reclaimed",
+    "bytes_reclaimed",
     "compute_s",
 )
 
@@ -197,13 +199,9 @@ def check_physical_memory(phys) -> None:
             )
 
 
-def check_page_conservation(asp) -> None:
-    """Pages are neither created nor lost: allocator usage on every
-    node equals the bytes mapped there plus replica copies held there.
-
-    A migration or split that leaked/double-freed frames breaks this
-    equality on the affected nodes immediately.
-    """
+def _expected_bytes_per_node(asp) -> np.ndarray:
+    """Allocator bytes one address space should occupy on each node:
+    home mappings plus the replica copies it holds elsewhere."""
     expected = asp.bytes_per_node().astype(np.int64)
 
     n_rep4 = int(np.count_nonzero(asp.replicated_4k))
@@ -214,6 +212,17 @@ def check_page_conservation(asp) -> None:
     for backing_id in sorted(asp._replica_blocks):
         for node in sorted(asp._replica_blocks[backing_id]):
             expected[node] += int(PageSize.SIZE_2M)
+    return expected
+
+
+def check_page_conservation(asp) -> None:
+    """Pages are neither created nor lost: allocator usage on every
+    node equals the bytes mapped there plus replica copies held there.
+
+    A migration or split that leaked/double-freed frames breaks this
+    equality on the affected nodes immediately.
+    """
+    expected = _expected_bytes_per_node(asp)
 
     for node in asp.phys.nodes:
         want = int(expected[node.node_id]) + node.test_pinned_bytes
@@ -223,6 +232,48 @@ def check_page_conservation(asp) -> None:
                 f"allocator reports {node.used_bytes} bytes used, mappings "
                 f"account for {want}"
             )
+
+
+def check_host_conservation(phys, address_spaces) -> None:
+    """Cross-tenant frame conservation on a shared allocator.
+
+    Summing every tenant's expected per-node footprint and matching the
+    allocator's used-bytes accounting exactly proves, at the accounting
+    level, that no frame is owned by two tenants (double ownership would
+    make the sum exceed usage) and that freed tenants returned every
+    page (a leak would make usage exceed the sum).
+    """
+    n_nodes = len(phys.nodes)
+    expected = np.zeros(n_nodes, dtype=np.int64)
+    for asp in address_spaces:
+        if asp.phys is not phys:
+            raise InvariantViolation(
+                f"address space '{asp.label}' is not backed by the "
+                "host's allocator"
+            )
+        expected += _expected_bytes_per_node(asp)
+    for node in phys.nodes:
+        want = int(expected[node.node_id]) + node.test_pinned_bytes
+        if node.used_bytes != want:
+            raise InvariantViolation(
+                f"cross-tenant page conservation broken on node "
+                f"{node.node_id}: allocator reports {node.used_bytes} "
+                f"bytes used, tenant mappings account for {want}"
+            )
+
+
+def check_tenant_released(asp) -> None:
+    """A released / OOM-killed tenant left nothing behind."""
+    if asp.mapped_bytes() != 0:
+        raise InvariantViolation(
+            f"released tenant '{asp.label}' still maps "
+            f"{asp.mapped_bytes()} bytes"
+        )
+    if asp.replica_bytes != 0:
+        raise InvariantViolation(
+            f"released tenant '{asp.label}' still holds "
+            f"{asp.replica_bytes} replica bytes"
+        )
 
 
 def check_epoch_counters(counters, n_nodes: int) -> None:
@@ -292,8 +343,12 @@ class InvariantChecker:
         sim = self.sim
         try:
             check_address_space(sim.asp)
-            check_physical_memory(sim.phys)
-            check_page_conservation(sim.asp)
+            if getattr(sim, "owns_phys", True):
+                # Shared-allocator tenants see other tenants' frames in
+                # the node accounting; the host checker runs the
+                # cross-tenant version of these two instead.
+                check_physical_memory(sim.phys)
+                check_page_conservation(sim.asp)
             if sim.bank.epochs:
                 check_epoch_counters(sim.bank.epochs[-1], sim.machine.n_nodes)
         except InvariantViolation as exc:
@@ -316,13 +371,18 @@ class InvariantChecker:
             )
         self._prev_sim_time = sim.sim_time_s
 
-        mapped = sim.asp.mapped_bytes()
+        # Footprint only shrinks through accounted reclaim: mapped plus
+        # the cumulative reclaimed/released byte counter is monotonic,
+        # so an unaccounted unmap still surfaces as lost pages.
+        mapped = sim.asp.mapped_bytes() + getattr(
+            sim.asp, "reclaimed_bytes", 0
+        )
         if mapped < self._prev_mapped_bytes:
             raise self._violation(
                 InvariantViolation(
-                    f"mapped footprint shrank: {mapped} < "
-                    f"{self._prev_mapped_bytes} (nothing unmaps in this "
-                    "simulation, so pages were lost)"
+                    f"mapped + reclaimed footprint shrank: {mapped} < "
+                    f"{self._prev_mapped_bytes} (nothing unmaps without "
+                    "reclaim accounting, so pages were lost)"
                 )
             )
         self._prev_mapped_bytes = mapped
@@ -376,3 +436,41 @@ class InvariantChecker:
                         f"sums to {logged}, executor totals say {total}"
                     )
                 )
+
+
+class HostInvariantChecker:
+    """Cross-tenant invariants for a shared-allocator host.
+
+    Runs after every host epoch, complementing the per-tenant
+    :class:`InvariantChecker` (which each tenant still runs on its own
+    address space): the allocator must balance globally, the live
+    tenants' footprints must tile the used frames exactly (no frame
+    owned by two tenants), and departed tenants must have returned
+    every page.
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self._epochs_checked = 0
+
+    def after_epoch(self, epoch: int) -> None:
+        """Validate the shared allocator against all tenant mappings."""
+        host = self.host
+        try:
+            check_physical_memory(host.phys)
+            check_host_conservation(
+                host.phys, [tenant.asp for tenant in host.tenants]
+            )
+            for tenant in host.tenants:
+                if host.status[tenant.tenant_id] in (
+                    "released",
+                    "oom-killed",
+                ):
+                    check_tenant_released(tenant.asp)
+        except InvariantViolation as exc:
+            raise InvariantViolation(
+                exc.detail,
+                machine=host.machine.name,
+                epoch=epoch,
+            ) from None
+        self._epochs_checked += 1

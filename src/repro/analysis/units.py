@@ -350,9 +350,8 @@ class _FunctionUnits:
         self.events: List[UnitEvent] = []
 
     def run(self) -> List[UnitEvent]:
-        for stmt in getattr(self.info.node, "body", []):
-            for node in ast.walk(stmt):
-                self._visit(node)
+        for node in self.info.walk_body():
+            self._visit(node)
         return self.events
 
     # ------------------------------------------------------------------

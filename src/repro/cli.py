@@ -189,6 +189,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the policy registry with one-line descriptions",
     )
 
+    scen_cmd = sub.add_parser(
+        "scenario",
+        help="run a multi-tenant colocation scenario on one shared host",
+    )
+    scen_cmd.add_argument(
+        "--arrival",
+        default="poisson",
+        help="arrival generator (see repro.scenarios.registry;"
+        " poisson / fixed-trace / closed-loop)",
+    )
+    scen_cmd.add_argument("--machine", default="B", choices=["A", "B"])
+    scen_cmd.add_argument(
+        "--workloads",
+        default="SSCA.20",
+        metavar="W1,W2,...",
+        help="comma-separated workload pool (assigned round-robin)",
+    )
+    scen_cmd.add_argument(
+        "--policies",
+        default="thp",
+        metavar="P1,P2,...",
+        help="comma-separated policy pool (assigned round-robin)",
+    )
+    scen_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="expected arrivals per host epoch (poisson)",
+    )
+    scen_cmd.add_argument(
+        "--max-tenants", type=int, default=4, help="total tenant budget"
+    )
+    scen_cmd.add_argument(
+        "--target-active",
+        type=int,
+        default=2,
+        help="tenants kept alive by the closed-loop generator",
+    )
+    scen_cmd.add_argument(
+        "--tenant-epochs",
+        type=int,
+        default=None,
+        help="per-tenant epoch cap (default: each workload's own length)",
+    )
+    scen_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="E:W:P,...",
+        help="fixed-trace arrival schedule as epoch:workload:policy"
+        " triples, e.g. 0:SSCA.20:carrefour-lp,4:Kmeans:thp"
+        " (implies --arrival fixed-trace)",
+    )
+    scen_cmd.add_argument("--max-host-epochs", type=int, default=2000)
+    scen_cmd.add_argument(
+        "--pressure",
+        type=float,
+        default=0.0,
+        help="fraction of each node's memory pinned before any tenant"
+        " arrives, in [0, 1)",
+    )
+    scen_cmd.add_argument("--quick", action="store_true", help="reduced scale")
+    scen_cmd.add_argument("--scale", type=float, default=None)
+    scen_cmd.add_argument("--seed", type=int, default=0)
+    scen_cmd.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the persistent result cache (recompute everything)",
+    )
+
     trace_cmd = sub.add_parser(
         "trace",
         help="run one benchmark uncached with the decision trace enabled",
@@ -368,6 +437,68 @@ def _trace_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_main(args: argparse.Namespace) -> int:
+    """Run one colocation scenario and print its tenant timeline."""
+    from repro.experiments.scenario_runner import run_scenario
+    from repro.scenarios import ScenarioConfig
+
+    settings = _settings_from_args(args)
+    trace = ()
+    arrival = args.arrival
+    if args.trace:
+        trace = tuple(
+            (int(epoch), workload, policy)
+            for epoch, workload, policy in (
+                entry.split(":") for entry in args.trace.split(",")
+            )
+        )
+        arrival = "fixed-trace"
+    scenario = ScenarioConfig(
+        arrival=arrival,
+        machine=args.machine,
+        workloads=tuple(
+            w.strip() for w in args.workloads.split(",") if w.strip()
+        ),
+        policies=tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        ),
+        arrival_rate=args.rate,
+        trace=trace,
+        max_tenants=args.max_tenants,
+        target_active=args.target_active,
+        max_host_epochs=args.max_host_epochs,
+        tenant_epochs=args.tenant_epochs,
+        pressure=args.pressure,
+        seed=args.seed,
+    )
+    result = run_scenario(
+        scenario, settings.config, use_cache=not args.fresh
+    )
+    print(
+        f"scenario {scenario.arrival} on {result.machine}: "
+        f"{len(result.tenants)} tenant(s) over {result.host_epochs} host"
+        f" epoch(s), pressure {scenario.pressure:.0%}"
+        f" ({result.pressure_bytes >> 20} MiB pinned)"
+    )
+    for record in result.tenants:
+        runtime = (
+            f"{record.result.runtime_s:.3f}s"
+            if record.result is not None
+            else "-"
+        )
+        exit_epoch = record.exit_epoch if record.exit_epoch is not None else "-"
+        print(
+            f"  tenant {record.tenant_id}: {record.workload}/{record.policy}"
+            f" epochs {record.arrival_epoch}..{exit_epoch}"
+            f" [{record.status}] runtime={runtime}"
+        )
+    print(
+        f"  completed={result.n_completed} oom-killed={result.n_killed}"
+        f" truncated={len(result.by_status('truncated'))}"
+    )
+    return 0
+
+
 def _cache_main(action: str) -> int:
     store = ResultCache.default()
     if action == "clear":
@@ -406,6 +537,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "trace":
         return _trace_main(args)
+
+    if args.command == "scenario":
+        return _scenario_main(args)
 
     _apply_execution_flags(args)
 

@@ -1,0 +1,125 @@
+"""Memory-pressure response: per-tenant THP throttling and reclaim.
+
+On a loaded NUMA server the frame allocator is shared, so one tenant's
+appetite is every tenant's problem: promotion-hungry THP allocations
+fragment the pool and demand faults start failing long before *this*
+process is at fault.  Linux reacts per-process — kswapd reclaims cold
+pages and THP defers to ``madvise`` when compaction keeps failing —
+and :class:`MemoryPressurePolicy` models that reaction as a decider:
+
+* below the low free-memory watermark it disables THP allocation
+  (:class:`~repro.sim.decisions.ToggleThpAlloc`), stopping this tenant
+  from burning contiguous blocks, and yields a
+  :class:`~repro.sim.decisions.ReclaimPages` batch of its own coldest
+  mapped granules, returning frames to the shared pool;
+* once free memory recovers past the high watermark it re-enables THP
+  allocation.
+
+Reclaimed pages are not gone — the next access demand-faults them back
+in, so over-eager reclaim shows up as fault time, exactly the thrashing
+trade-off real watermark tuning faces.  Everything here is a pure
+decider (R110): the executor applies the decisions and accounts their
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.hardware.counters import CounterBank
+from repro.hardware.ibs import IbsSamples
+from repro.sim.decisions import (
+    Decision,
+    Note,
+    Outcome,
+    ReclaimPages,
+    ToggleThpAlloc,
+)
+from repro.sim.policy import PlacementPolicy
+from repro.vm.layout import PAGE_4K
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+class MemoryPressurePolicy(PlacementPolicy):
+    """Watermark-driven THP throttling + cold-page reclaim."""
+
+    interval_s = 1.0
+
+    def __init__(
+        self,
+        thp: bool = True,
+        low_watermark: float = 0.10,
+        high_watermark: float = 0.25,
+        batch_granules: int = 4096,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1"
+            )
+        if batch_granules <= 0:
+            raise ValueError("batch_granules must be positive")
+        self.thp = thp
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self.batch_granules = batch_granules
+        self.name = name or "pressure-reclaim"
+        self._thp_suppressed = False
+
+    def setup(self, sim: "Simulation") -> None:
+        if self.thp:
+            sim.thp.enable_alloc()
+            sim.thp.enable_promotion()
+        else:
+            sim.thp.disable_alloc()
+            sim.thp.disable_promotion()
+
+    def wants_ibs(self) -> bool:
+        # Watermarks come from the allocator, victims from the mapping
+        # arrays; no sampling needed.
+        return False
+
+    @staticmethod
+    def _free_fraction(sim: "Simulation") -> float:
+        total = sum(
+            node.buddy.total_frames * PAGE_4K for node in sim.phys.nodes
+        )
+        return sim.phys.total_free_bytes / total
+
+    def _victims(self, sim: "Simulation") -> np.ndarray:
+        """Highest-address mapped, unreplicated 4KB granules.
+
+        The tail of the address space is the deterministic stand-in for
+        "coldest": workload access patterns concentrate on low regions,
+        and determinism matters more here than LRU fidelity.
+        """
+        mapped = np.flatnonzero(
+            (sim.asp.node4k >= 0) & ~sim.asp.replicated_4k
+        )
+        return mapped[-self.batch_granules:]
+
+    def decide(
+        self, sim: "Simulation", samples: IbsSamples, window: CounterBank
+    ) -> Generator[Decision, Outcome, None]:
+        free = self._free_fraction(sim)
+        if free < self.low_watermark:
+            if not self._thp_suppressed:
+                outcome = yield ToggleThpAlloc(False)
+                if outcome.applied:
+                    self._thp_suppressed = True
+            victims = self._victims(sim)
+            if victims.size:
+                outcome = yield ReclaimPages(victims)
+                if outcome.applied:
+                    yield Note(
+                        f"pressure reclaim: {outcome.count} pages "
+                        f"(free fraction {free:.3f})"
+                    )
+        elif free > self.high_watermark and self._thp_suppressed:
+            outcome = yield ToggleThpAlloc(True)
+            if outcome.applied:
+                self._thp_suppressed = False

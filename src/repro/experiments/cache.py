@@ -130,6 +130,30 @@ def run_fingerprint(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def scenario_fingerprint(
+    scenario: object,
+    config: SimConfig,
+    stamp: Optional[str] = None,
+) -> str:
+    """SHA-256 hex key for one multi-tenant scenario run.
+
+    Same contract as :func:`run_fingerprint` but keyed on the complete
+    :class:`~repro.scenarios.config.ScenarioConfig` (any dataclass
+    canonicalises) plus the base :class:`SimConfig` every tenant's
+    per-tenant config derives from.  The ``kind`` marker keeps scenario
+    keys disjoint from single-run keys even under identical field
+    values.
+    """
+    identity = {
+        "stamp": stamp if stamp is not None else version_stamp(),
+        "kind": "scenario",
+        "scenario": _canonical(scenario),
+        "config": _canonical(config),
+    }
+    text = repr(_canonical(identity))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def normalized_config(config: SimConfig) -> SimConfig:
     """The config with every ``_CACHE_KEY_EXCLUDE`` field at its default.
 
@@ -192,8 +216,17 @@ class ResultCache:
         """Entry path for a fingerprint key."""
         return self.root / f"{key}{self.SUFFIX}"
 
-    def get(self, key: str) -> Optional[SimulationResult]:
-        """Load a cached result, or ``None`` on miss/corruption."""
+    def get(
+        self, key: str, expect: type = SimulationResult
+    ) -> Optional[SimulationResult]:
+        """Load a cached result, or ``None`` on miss/corruption.
+
+        ``expect`` is the result type the caller will unpickle — the
+        scenario runner stores :class:`ScenarioResult` objects in the
+        same store, and a type mismatch (a fingerprint collision or a
+        stale entry from another caller) must read as a miss, never as
+        a wrongly-typed hit.
+        """
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
@@ -210,7 +243,7 @@ class ResultCache:
             except OSError:
                 pass
             return None
-        if not isinstance(result, SimulationResult):
+        if not isinstance(result, expect):
             try:
                 path.unlink()
             except OSError:

@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.core.autonuma import AutoNumaPolicy
 from repro.core.carrefour import CarrefourPolicy
 from repro.core.carrefour_lp import CarrefourLpPolicy
+from repro.core.pressure import MemoryPressurePolicy
 from repro.core.pt_replication import PtReplicationPolicy
 from repro.sim.policy import LinuxPolicy, PlacementPolicy, PolicyStack
 
@@ -48,6 +49,12 @@ from repro.sim.policy import LinuxPolicy, PlacementPolicy, PolicyStack
 #:     Mitosis-style page-table replication: same walk modelling, but
 #:     the tables are copied to every node on the first interval, making
 #:     all walks local again (extension experiment).
+#: ``pressure-reclaim``
+#:     THP plus watermark-driven memory-pressure response: below the
+#:     low free-memory watermark the tenant disables THP allocation and
+#:     reclaims batches of its coldest pages back to the (shared)
+#:     allocator, re-enabling THP once free memory recovers — the
+#:     kswapd-style behaviour colocation scenarios exercise.
 POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
     "linux-4k": lambda seed: LinuxPolicy(thp=False),
     "thp": lambda seed: LinuxPolicy(thp=True),
@@ -63,6 +70,7 @@ POLICIES: Dict[str, Callable[[int], PlacementPolicy]] = {
     "interleave-thp": lambda seed: LinuxPolicy(thp=True, interleave=True),
     "pt-remote": lambda seed: PtReplicationPolicy(replicate=False),
     "replication": lambda seed: PtReplicationPolicy(replicate=True),
+    "pressure-reclaim": lambda seed: MemoryPressurePolicy(thp=True),
 }
 
 

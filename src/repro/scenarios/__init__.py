@@ -1,0 +1,36 @@
+"""Multi-tenant colocation scenarios.
+
+The paper evaluates one static workload at a time; this package models
+the regime its effects are worst in — a NUMA server running a churn of
+colocated processes.  A :class:`~repro.scenarios.config.ScenarioConfig`
+names an arrival process (Poisson / fixed-trace / closed-loop, see
+:mod:`repro.scenarios.registry`), the workload/policy pools tenants
+draw from, and an initial memory-pressure level; the scenario runner
+(:mod:`repro.experiments.scenario_runner`) drives the arrivals against
+one shared :class:`~repro.sim.host.Host`.
+"""
+
+from repro.scenarios.base import Arrival, ArrivalGenerator
+from repro.scenarios.builtins import (
+    ClosedLoopArrivals,
+    FixedTraceArrivals,
+    PoissonArrivals,
+)
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.registry import (
+    ARRIVALS,
+    available_arrivals,
+    make_arrival_generator,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "Arrival",
+    "ArrivalGenerator",
+    "ClosedLoopArrivals",
+    "FixedTraceArrivals",
+    "PoissonArrivals",
+    "ScenarioConfig",
+    "available_arrivals",
+    "make_arrival_generator",
+]

@@ -1,0 +1,64 @@
+"""Arrival-generator interface for colocation scenarios.
+
+An arrival generator decides *when* tenants spawn; the scenario runner
+decides everything else (building the tenant, admitting it to the
+host).  Generators are deterministic functions of the scenario config —
+re-running a scenario replays the identical arrival schedule, which is
+what makes scenario goldens pinnable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.scenarios.config import ScenarioConfig
+
+#: A pending spawn: (workload name, policy name).
+Arrival = Tuple[str, str]
+
+
+class ArrivalGenerator:
+    """Base generator: spawn-count bookkeeping and round-robin assignment.
+
+    Subclasses implement :meth:`arrivals`, typically via
+    :meth:`_admit`, which caps the request against
+    ``scenario.max_tenants`` and assigns each spawn a (workload,
+    policy) pair round-robin from the scenario's pools in spawn order.
+    """
+
+    #: Registry key (set by subclasses).
+    name: str = "base"
+
+    def __init__(self, scenario: ScenarioConfig) -> None:
+        self.scenario = scenario
+        self._spawned = 0
+        self._cursor = 0
+
+    def arrivals(self, epoch: int, n_active: int) -> List[Arrival]:
+        """The tenants spawning at the start of this host epoch."""
+        raise NotImplementedError
+
+    def exhausted(self) -> bool:
+        """Whether this generator can never spawn another tenant.
+
+        The runner stops the host clock once the generator is
+        exhausted *and* no tenant is active; generators with their own
+        notion of doneness (a finite trace) override this.
+        """
+        return self._spawned >= self.scenario.max_tenants
+
+    def _admit(self, n: int) -> List[Arrival]:
+        """Cap ``n`` against the tenant budget and assign pairs."""
+        n = min(n, self.scenario.max_tenants - self._spawned)
+        out: List[Arrival] = []
+        for _ in range(max(n, 0)):
+            workload = self.scenario.workloads[
+                self._cursor % len(self.scenario.workloads)
+            ]
+            policy = self.scenario.policies[
+                self._cursor % len(self.scenario.policies)
+            ]
+            self._cursor += 1
+            self._spawned += 1
+            out.append((workload, policy))
+        return out

@@ -1,0 +1,84 @@
+"""The built-in arrival generators: Poisson, fixed-trace, closed-loop."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro._util import rng_for
+from repro.scenarios.base import Arrival, ArrivalGenerator
+from repro.scenarios.config import ScenarioConfig
+
+
+class PoissonArrivals(ArrivalGenerator):
+    """Independent arrivals at ``arrival_rate`` expected spawns/epoch.
+
+    The open-system model: tenants arrive regardless of how loaded the
+    host already is, which is what drives the allocator into the
+    pressure regimes the paper's single-workload runs never reach.
+    One Poisson draw is consumed per epoch from a scenario-scoped
+    stream, so the schedule depends only on the scenario seed.
+    """
+
+    name = "poisson"
+
+    def __init__(self, scenario: ScenarioConfig) -> None:
+        super().__init__(scenario)
+        self._rng = rng_for(scenario.seed, "scenario", "arrivals")
+
+    def arrivals(self, epoch: int, n_active: int) -> List[Arrival]:
+        count = int(self._rng.poisson(self.scenario.arrival_rate))
+        return self._admit(count)
+
+
+class FixedTraceArrivals(ArrivalGenerator):
+    """Replay an explicit ``(epoch, workload, policy)`` schedule.
+
+    The trace names each tenant's pair directly (the round-robin pools
+    are ignored), so hand-written colocations — "SSCA under carrefour-lp
+    joins a THP CG.D at epoch 40" — are expressible exactly.
+    """
+
+    name = "fixed-trace"
+
+    def __init__(self, scenario: ScenarioConfig) -> None:
+        super().__init__(scenario)
+        self._by_epoch: Dict[int, List[Arrival]] = {}
+        for entry_epoch, workload, policy in scenario.trace:
+            self._by_epoch.setdefault(int(entry_epoch), []).append(
+                (workload, policy)
+            )
+        self._last_epoch = (
+            max(self._by_epoch) if self._by_epoch else -1
+        )
+        self._epochs_seen = -1
+
+    def arrivals(self, epoch: int, n_active: int) -> List[Arrival]:
+        self._epochs_seen = max(self._epochs_seen, epoch)
+        out: List[Arrival] = []
+        for pair in self._by_epoch.get(epoch, []):
+            if self._spawned >= self.scenario.max_tenants:
+                break
+            self._spawned += 1
+            out.append(pair)
+        return out
+
+    def exhausted(self) -> bool:
+        return (
+            self._epochs_seen >= self._last_epoch
+            or self._spawned >= self.scenario.max_tenants
+        )
+
+
+class ClosedLoopArrivals(ArrivalGenerator):
+    """Keep ``target_active`` tenants alive until the budget runs out.
+
+    The closed-system model (a fixed worker pool): every exit admits a
+    replacement immediately, holding allocator occupancy roughly
+    constant — the steady-state colocation the open model only passes
+    through.
+    """
+
+    name = "closed-loop"
+
+    def arrivals(self, epoch: int, n_active: int) -> List[Arrival]:
+        return self._admit(self.scenario.target_active - n_active)

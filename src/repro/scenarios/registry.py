@@ -1,0 +1,41 @@
+"""Registry of arrival generators, keyed by scenario-config names."""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, List, Type
+
+from repro.errors import ConfigurationError
+from repro.scenarios.base import ArrivalGenerator
+from repro.scenarios.builtins import (
+    ClosedLoopArrivals,
+    FixedTraceArrivals,
+    PoissonArrivals,
+)
+from repro.scenarios.config import ScenarioConfig
+
+#: Generator class per ``ScenarioConfig.arrival`` name.
+ARRIVALS: Dict[str, Type[ArrivalGenerator]] = {
+    PoissonArrivals.name: PoissonArrivals,
+    FixedTraceArrivals.name: FixedTraceArrivals,
+    ClosedLoopArrivals.name: ClosedLoopArrivals,
+}
+
+
+def available_arrivals() -> List[str]:
+    """All registered arrival-generator names."""
+    return sorted(ARRIVALS)
+
+
+def make_arrival_generator(scenario: ScenarioConfig) -> ArrivalGenerator:
+    """Instantiate the generator a scenario config names."""
+    try:
+        cls = ARRIVALS[scenario.arrival]
+    except KeyError:
+        close = difflib.get_close_matches(scenario.arrival, ARRIVALS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise ConfigurationError(
+            f"unknown arrival generator {scenario.arrival!r}{hint}; "
+            f"available: {available_arrivals()}"
+        ) from None
+    return cls(scenario)

@@ -92,8 +92,12 @@ class SimConfig:
             raise ConfigurationError("scale must be in (0, 1]")
         if not 0 <= self.ibs_rate <= 1:
             raise ConfigurationError("ibs_rate must be in [0, 1]")
+        if self.ibs_cost_cycles <= 0:
+            raise ConfigurationError("ibs_cost_cycles must be positive")
         if self.max_epochs <= 0:
             raise ConfigurationError("max_epochs must be positive")
+        if self.khugepaged_batch <= 0:
+            raise ConfigurationError("khugepaged_batch must be positive")
 
     @classmethod
     def quick(cls, seed: int = 0) -> "SimConfig":

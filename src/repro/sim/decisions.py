@@ -280,6 +280,46 @@ class ClearCollapseBlocks(Decision):
         return {"kind": "ClearCollapseBlocks"}
 
 
+@dataclass(frozen=True, eq=False)
+class ReclaimPages(Decision):
+    """Evict 4KB-mapped granules back to the allocator (memory pressure).
+
+    The tenant-scoped reclaim decision for colocation scenarios: under
+    host memory pressure a decider picks cold granules and yields one
+    of these; the executor unmaps them through
+    :meth:`~repro.vm.address_space.AddressSpace.reclaim_granules`, so
+    the frames return to the *shared* pool and the next touch demand-
+    faults the page back in.  ``eq=False`` for the same reason as
+    :class:`InterleaveRegion`: the numpy payload makes value comparison
+    expensive and identity is what the executor needs.
+    """
+
+    domain: ClassVar[str] = "page"
+    counters: ClassVar[Tuple[str, ...]] = (
+        "bytes_reclaimed",
+        "pages_reclaimed",
+    )
+
+    granules: Pages4KArray
+    #: Backing page the granules came from (conflict key), when known.
+    page_id: Optional[int] = None
+
+    def targets(self) -> Tuple[Target, ...]:
+        if self.page_id is None:
+            return ()
+        return (("page", self.page_id),)
+
+    def payload(self) -> dict:
+        g = np.asarray(self.granules)
+        return {
+            "kind": "ReclaimPages",
+            "page_id": self.page_id,
+            "n_granules": int(g.size),
+            "granule_lo": int(g.min()) if g.size else None,
+            "granule_hi": int(g.max()) if g.size else None,
+        }
+
+
 @dataclass(frozen=True)
 class ReplicatePage(Decision):
     """Replicate one read-mostly backing page onto every node."""
@@ -335,6 +375,8 @@ class MergeSummary(Decision):
         "collapses_2m",
         "replicated_pages",
         "bytes_replicated",
+        "pages_reclaimed",
+        "bytes_reclaimed",
         "compute_s",
         "notes",
         "notes_dropped",
@@ -354,6 +396,8 @@ class MergeSummary(Decision):
             "collapses_2m": s.collapses_2m,
             "replicated_pages": s.replicated_pages,
             "bytes_replicated": s.bytes_replicated,
+            "pages_reclaimed": s.pages_reclaimed,
+            "bytes_reclaimed": s.bytes_reclaimed,
             "compute_s": s.compute_s,
             "n_notes": len(s.notes),
         }

@@ -1,12 +1,20 @@
 """The epoch-based simulation engine.
 
-One :class:`Simulation` runs one workload instance on one machine under
-one placement policy.  Each epoch represents a fixed quantum of
-application work; how much wall-clock time the quantum takes depends on
-DRAM latency (controller queueing + interconnect), TLB walk costs,
-page-fault handling and policy maintenance — the same four components
-the paper's measurements decompose into.  Runtime is the sum of epoch
-times, so performance ratios between policies come out directly.
+One :class:`Tenant` runs one workload instance under one placement
+policy against a (possibly shared) pool of physical memory.  Each epoch
+represents a fixed quantum of application work; how much wall-clock
+time the quantum takes depends on DRAM latency (controller queueing +
+interconnect), TLB walk costs, page-fault handling and policy
+maintenance — the same four components the paper's measurements
+decompose into.  Runtime is the sum of epoch times, so performance
+ratios between policies come out directly.
+
+:class:`Simulation` is the single-workload entry point and the N=1
+special case of the multi-tenant architecture: its :meth:`~Simulation.run`
+adopts the tenant into a fresh :class:`repro.sim.host.Host` and drives
+the host's epoch loop, so every single-workload run exercises the same
+multiplexing path as the colocation scenarios in
+:mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.sim.decisions import (
     MigratePage,
     Note,
     Outcome,
+    ReclaimPages,
     ReplicatePage,
     ReplicatePageTables,
     Split1G,
@@ -104,8 +113,18 @@ class PageTableState:
     walk_levels: int = 4
 
 
-class Simulation:
-    """Drives one (machine, workload, policy) combination to completion."""
+class Tenant:
+    """One workload + policy context over (possibly shared) memory.
+
+    All per-workload simulation state lives here: the address space,
+    THP/TLB/IBS state, the access tracker, the policy and its executor,
+    the stream-bank binding, and the per-tenant epoch/time clocks.
+    Standalone (``phys=None``) a tenant owns a private
+    :class:`PhysicalMemory`; under a :class:`repro.sim.host.Host`
+    several tenants share the host's allocator and interconnect, and
+    each other's traffic (via :attr:`_background_rates`) congests the
+    pricing model.
+    """
 
     def __init__(
         self,
@@ -113,6 +132,8 @@ class Simulation:
         workload: Union[Workload, WorkloadInstance],
         policy: PlacementPolicy,
         config: Optional[SimConfig] = None,
+        phys: Optional[PhysicalMemory] = None,
+        tenant_id: int = 0,
     ) -> None:
         self.machine = machine
         self.config = config or SimConfig()
@@ -127,7 +148,15 @@ class Simulation:
             raise SimulationError("workload instance was built for another machine")
         self.policy = policy
 
-        self.phys = PhysicalMemory.for_topology(machine)
+        self.tenant_id = tenant_id
+        #: Whether this tenant's allocator is private.  Shared-allocator
+        #: tenants skip the per-tenant physical-memory conservation
+        #: checks (other tenants' frames are visible there); the host
+        #: runs the cross-tenant version instead.
+        self.owns_phys = phys is None
+        self.phys = (
+            PhysicalMemory.for_topology(machine) if phys is None else phys
+        )
         self.asp = AddressSpace(self.instance.n_granules, self.phys, self.instance.name)
         self.thp = ThpState()
         self.tlb_model = TlbModel(self.models.tlb, self.models.cache)
@@ -146,6 +175,14 @@ class Simulation:
         self.thread_nodes = machine.core_to_node[: self.n_threads].astype(np.int64)
         self.sim_time_s = 0.0
         self.epoch = 0
+        # Lifecycle state driven by the host: local epochs completed,
+        # the total to run (set by start()), and the previous epoch's
+        # traffic rates other tenants see as background congestion.
+        self._started = False
+        self._epochs_run = 0
+        self._total_epochs = 0
+        self._background_rates: Optional[np.ndarray] = None
+        self.last_rates: Optional[np.ndarray] = None
         self.action_log: List[Tuple[float, PolicyActionSummary]] = []
         self._pending_maintenance_s = 0.0
         self._last_policy_epoch = 0
@@ -195,15 +232,40 @@ class Simulation:
         self._tlb_value_memo: Dict[tuple, TlbEpochResult] = {}
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Lifecycle (driven by the host)
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Run the workload to completion and return the results."""
+    def start(self) -> None:
+        """Set up the policy and fix the tenant's epoch budget."""
+        if self._started:
+            raise SimulationError("tenant started twice")
         self.policy.setup(self)
-        total_epochs = min(self.instance.total_epochs, self.config.max_epochs)
-        for epoch in range(total_epochs):
-            self.epoch = epoch
-            self._run_epoch(epoch)
+        self._total_epochs = min(
+            self.instance.total_epochs, self.config.max_epochs
+        )
+        self._started = True
+
+    @property
+    def done(self) -> bool:
+        """Whether the tenant has run every epoch of its workload."""
+        return self._started and self._epochs_run >= self._total_epochs
+
+    def step(self) -> bool:
+        """Run one local epoch; returns True while more remain."""
+        if not self._started:
+            raise SimulationError("tenant stepped before start()")
+        if self.done:
+            return False
+        self.epoch = self._epochs_run
+        self._run_epoch(self.epoch)
+        self._epochs_run += 1
+        return not self.done
+
+    def release(self) -> Bytes:
+        """Free every page back to the allocator (tenant exit/kill)."""
+        return self.asp.release_all()
+
+    def result(self) -> SimulationResult:
+        """Package everything the run produced."""
         if self.tracer is not None:
             self.tracer.flush_env()
         return SimulationResult(
@@ -413,9 +475,24 @@ class Simulation:
             prof.lap("ibs")
 
         # 3. Price the traffic: controller queueing + interconnect hops.
+        # Under a multi-tenant host, the other tenants' previous-epoch
+        # traffic congests the same controllers and links; the N=1 path
+        # (bg is None) performs exactly the original arithmetic so
+        # single-workload runs stay bit-identical.
         rates = traffic / cfg.epoch_s
-        controller_latency = self.models.controller.latency_cycles(rates.sum(axis=0))
-        hop_latency = self.models.interconnect.hop_latency_matrix(self.machine, rates)
+        bg = self._background_rates
+        if bg is not None:
+            shared = rates + bg
+            controller_latency = self.models.controller.latency_cycles(
+                shared.sum(axis=0)
+            )
+            hop_latency = self.models.interconnect.hop_latency_matrix(
+                self.machine, shared
+            )
+        else:
+            controller_latency = self.models.controller.latency_cycles(rates.sum(axis=0))
+            hop_latency = self.models.interconnect.hop_latency_matrix(self.machine, rates)
+        self.last_rates = rates
         latency = controller_latency[None, :] + hop_latency  # (src, dst) cycles
         dram_time = (
             thread_home_counts * latency[self.thread_nodes, :]
@@ -501,6 +578,13 @@ class Simulation:
                 + migration_model.collapse_time_s(summary.collapses_2m, self.n_threads)
                 + summary.compute_s
             )
+            # Reclaim is priced like migration (unmap + frame return);
+            # guarded so configs that never reclaim add literally
+            # nothing to the float sum.
+            if summary.pages_reclaimed:
+                action_cost += migration_model.migration_time_s(
+                    summary.bytes_reclaimed, summary.pages_reclaimed
+                )
             self._pending_maintenance_s += action_cost
             self.action_log.append((self.sim_time_s, summary))
             interval = self.policy.interval_s or 1.0
@@ -741,6 +825,26 @@ class Simulation:
             for size, (counts, weights, runs) in per_class.items()
             if counts
         }
+
+
+class Simulation(Tenant):
+    """Drives one (machine, workload, policy) combination to completion.
+
+    The single-workload entry point is the N=1 special case of the
+    multi-tenant architecture: :meth:`run` adopts this tenant into a
+    fresh :class:`repro.sim.host.Host` sharing its allocator and drives
+    the host's epoch loop, so the goldens pinned against this path
+    certify the refactored host multiplexing too.
+    """
+
+    def run(self) -> SimulationResult:
+        """Run the workload to completion and return the results."""
+        from repro.sim.host import Host  # deferred: host imports this module
+
+        host = Host(self.machine, config=self.config, phys=self.phys)
+        host.admit(self)
+        host.run_to_completion()
+        return self.result()
 
 
 class ActionExecutor:
@@ -985,6 +1089,19 @@ class ActionExecutor:
             applied=True, bytes_moved=nbytes, count=nbytes // PAGE_4K
         )
 
+    def _apply_reclaim_pages(
+        self, decision: ReclaimPages, summary: PolicyActionSummary
+    ) -> Outcome:
+        freed = self.sim.asp.reclaim_granules(decision.granules)
+        summary.bytes_reclaimed += freed
+        summary.pages_reclaimed += freed // PAGE_4K
+        return Outcome(
+            applied=freed > 0,
+            bytes_moved=freed,
+            count=freed // PAGE_4K,
+            reason="" if freed else "nothing reclaimed",
+        )
+
     def _apply_merge_summary(
         self, decision: MergeSummary, summary: PolicyActionSummary
     ) -> Outcome:
@@ -1010,6 +1127,7 @@ class ActionExecutor:
         ClearCollapseBlocks: _apply_clear_collapse_blocks,
         ReplicatePage: _apply_replicate_page,
         ReplicatePageTables: _apply_replicate_page_tables,
+        ReclaimPages: _apply_reclaim_pages,
         MergeSummary: _apply_merge_summary,
     }
 

@@ -46,6 +46,9 @@ class PolicyActionSummary:
     collapses_2m: int = 0
     replicated_pages: int = 0
     bytes_replicated: int = 0
+    #: 4KB pages evicted by ReclaimPages decisions (memory pressure).
+    pages_reclaimed: int = 0
+    bytes_reclaimed: int = 0
     #: Daemon compute time (sample processing etc.), seconds.
     compute_s: float = 0.0
     notes: List[str] = field(default_factory=list)
@@ -69,6 +72,8 @@ class PolicyActionSummary:
         self.collapses_2m += other.collapses_2m
         self.replicated_pages += other.replicated_pages
         self.bytes_replicated += other.bytes_replicated
+        self.pages_reclaimed += other.pages_reclaimed
+        self.bytes_reclaimed += other.bytes_reclaimed
         self.compute_s += other.compute_s
         self.notes_dropped += other.notes_dropped
         room = self.MAX_NOTES - len(self.notes)

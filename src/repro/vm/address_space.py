@@ -105,6 +105,11 @@ class AddressSpace:
         self.giga = np.zeros(self.n_chunks_1g, dtype=bool)
         self.node1g = np.full(self.n_chunks_1g, -1, dtype=np.int8)
         self._block1g = np.full(self.n_chunks_1g, -1, dtype=np.int64)
+        # Cumulative bytes unmapped by reclaim/teardown.  Mapped
+        # footprint alone is no longer monotonic once memory pressure
+        # can evict pages; ``mapped_bytes() + reclaimed_bytes`` is, and
+        # the invariant checker tracks exactly that sum.
+        self.reclaimed_bytes: Bytes = 0
         # Monotonic mutation counter: bumped by every operation that can
         # change translation or backing composition (map, fault, split,
         # collapse, migrate, replicate).  Consumers (the engine's
@@ -485,17 +490,23 @@ class AddressSpace:
         self.mapped_count_2m[chunk_ids] += chunk_counts.astype(np.int32)
         self._bump_version()
 
-    def premap_pattern_2m(self, chunk_start: int, nodes: NodeArray) -> None:
+    def premap_pattern_2m(self, chunk_start: int, nodes: NodeArray) -> np.ndarray:
         """Bulk-back fully unmapped 2MB chunks as huge pages.
 
         ``nodes[i]`` is the home node of chunk ``chunk_start + i``.
+        Like the fault path, each chunk falls back to 4KB pages when no
+        contiguous 2MB block is available anywhere (THP's allocation
+        under fragmentation); on a fresh allocator the fallback never
+        triggers and the mapping is bitwise what it always was.
+        Returns a boolean array: ``True`` where the chunk was backed
+        huge, ``False`` where it fell back to base pages.
         """
         nodes = np.asarray(nodes, dtype=np.int8)
         end = chunk_start + nodes.size
         if chunk_start < 0 or end > self.n_chunks_2m:
             raise MappingError("pattern outside the address space")
         if nodes.size == 0:
-            return
+            return np.zeros(0, dtype=bool)
         if not self._chunk_fits(end - 1):
             raise MappingError("trailing chunk extends past the address space")
         if np.any(nodes < 0) or np.any(nodes >= self.n_nodes):
@@ -503,8 +514,21 @@ class AddressSpace:
         chunks = np.arange(chunk_start, end)
         if np.any(self.huge[chunks]) or np.any(self.mapped_count_2m[chunks] != 0):
             raise MappingError("pattern overlaps existing mappings")
-        for chunk, node in zip(chunks, nodes):
-            self._back_huge(int(chunk), int(node))
+        backed = np.ones(nodes.size, dtype=bool)
+        for i, (chunk, node) in enumerate(zip(chunks, nodes)):
+            target = self._alloc_node_for(int(node), huge=True)
+            if self.phys[target].can_alloc_huge():
+                self._back_huge(int(chunk), target)
+            else:
+                target = self._alloc_node_for(int(node), huge=False)
+                granules = np.arange(
+                    int(chunk) << SHIFT_2M,
+                    (int(chunk) + 1) << SHIFT_2M,
+                    dtype=np.int64,
+                )
+                self._map_small(granules, target)
+                backed[i] = False
+        return backed
 
     def map_range_1g(
         self, start_granule: Pages4K, n_granules: Pages4K, node: NodeId
@@ -701,6 +725,81 @@ class AddressSpace:
         self.node4k[g] = dst.astype(np.int8)
         self._bump_version()
         return int(g.size) * PAGE_4K
+
+    # ------------------------------------------------------------------
+    # Reclaim and teardown
+    # ------------------------------------------------------------------
+    def reclaim_granules(self, granules: Pages4KArray) -> Bytes:
+        """Unmap 4KB-mapped granules and return their frames; bytes freed.
+
+        Models memory-pressure reclaim (the tenant-scoped
+        ``ReclaimPages`` decision): only plain 4KB mappings are
+        eligible — granules that are unmapped, covered by a larger
+        backing page, or replicated are silently skipped, matching the
+        kernel's behaviour of splitting/collapsing before evicting.
+        Reclaimed granules fault back in on the next touch.
+        """
+        g = np.unique(np.asarray(granules, dtype=np.int64))
+        if g.size == 0:
+            return 0
+        if int(g[0]) < 0 or int(g[-1]) >= self.n_granules:
+            raise MappingError("reclaim outside the address space")
+        eligible = (self.node4k[g] >= 0) & ~self.replicated_4k[g]
+        g = g[eligible]
+        if g.size == 0:
+            return 0
+        nodes = self.node4k[g].astype(np.int64)
+        counts = np.bincount(nodes, minlength=self.n_nodes)
+        for node, count in enumerate(counts):
+            if count:
+                self.phys[node].free_small(int(count))
+        self.node4k[g] = -1
+        chunk_ids, chunk_counts = np.unique(g >> SHIFT_2M, return_counts=True)
+        self.mapped_count_2m[chunk_ids] -= chunk_counts.astype(np.int32)
+        freed = int(g.size) * PAGE_4K
+        self.reclaimed_bytes += freed
+        self._bump_version()
+        return freed
+
+    def release_all(self) -> Bytes:
+        """Tear down every mapping and return all frames (process exit).
+
+        Collapses every replica, frees every 4KB/2MB/1GB backing, and
+        resets the space to its freshly-constructed (empty) state.
+        Returns the mapped bytes released.  The multi-tenant host calls
+        this when a tenant exits, so the frames age the shared allocator
+        that later tenants draw from.
+        """
+        for granule in np.flatnonzero(self.replicated_4k):
+            self.unreplicate_backing(int(granule))
+        for backing_id in sorted(list(self._replica_blocks)):
+            self.unreplicate_backing(backing_id)
+        released = self.mapped_bytes()
+        mapped4k = self.node4k[self.node4k >= 0].astype(np.int64)
+        counts = np.bincount(mapped4k, minlength=self.n_nodes)
+        for node, count in enumerate(counts):
+            if count:
+                self.phys[node].free_small(int(count))
+        for chunk in np.flatnonzero(self.huge):
+            self.phys[int(self.node2m[chunk])].free_huge(
+                int(self._block2m[chunk])
+            )
+        for gchunk in np.flatnonzero(self.giga):
+            self.phys[int(self.node1g[gchunk])].free_giga(
+                int(self._block1g[gchunk])
+            )
+        self.node4k[:] = -1
+        self.huge[:] = False
+        self.node2m[:] = -1
+        self._block2m[:] = -1
+        self.collapse_blocked[:] = False
+        self.mapped_count_2m[:] = 0
+        self.giga[:] = False
+        self.node1g[:] = -1
+        self._block1g[:] = -1
+        self.reclaimed_bytes += released
+        self._bump_version()
+        return released
 
     # ------------------------------------------------------------------
     # Introspection

@@ -304,6 +304,65 @@ class NodeMemory:
             self._fragmentation_pins.append((start << 6) | order)
             self.test_pinned_bytes += (1 << order) * PAGE_4K
 
+    def pin_fragmented(self, target_bytes: Bytes) -> Bytes:
+        """Pin ~``target_bytes`` so the *free* remainder is fragmented.
+
+        Sequential buddy allocations return adjacent blocks, so naive
+        pinning leaves the unpinned memory contiguous and THP-friendly.
+        This helper instead holds both 1MB halves of a 2MB block and
+        then releases the upper half: the freed halves can never merge
+        back (their buddies stay pinned), so every byte pinned this way
+        destroys two bytes of huge-page contiguity — the occupancy
+        profile of a long-running host rather than a fresh boot.  Pins
+        are accounted as :attr:`test_pinned_bytes` like
+        :meth:`inject_fragmentation` and released the same way.
+        Returns the bytes actually pinned.
+        """
+        if target_bytes < 0:
+            raise ConfigurationError("target_bytes must be non-negative")
+        half_order = ORDER_2M - 1
+        half_bytes = (1 << half_order) * PAGE_4K
+        # Phase 1: hold half-blocks worth twice the target, breaking a
+        # proportional share of the node's 2MB blocks.
+        held: List[int] = []
+        while (
+            len(held) * half_bytes < 2 * target_bytes
+            and self.buddy.can_alloc(half_order)
+        ):
+            held.append(self.buddy.alloc(half_order))
+        # Phase 2: release the upper half of every fully-held pair.
+        held_set = set(held)
+        pinned: Bytes = 0
+        for start in held:
+            upper = bool(start & (1 << half_order))
+            if upper and (start ^ (1 << half_order)) in held_set:
+                self.buddy.free(start, half_order)
+            else:
+                self._fragmentation_pins.append((start << 6) | half_order)
+                pinned += half_bytes
+        # Phase 3: top up from the now-scattered free halves (re-pinning
+        # them cannot restore contiguity — their buddies stay pinned).
+        while (
+            pinned + half_bytes <= target_bytes
+            and self.buddy.can_alloc(half_order)
+        ):
+            start = self.buddy.alloc(half_order)
+            self._fragmentation_pins.append((start << 6) | half_order)
+            pinned += half_bytes
+        # Half-block pins so far; inject_fragmentation accounts its own.
+        self.test_pinned_bytes += pinned
+        # Phase 4: sub-1MB remainder as individual 4KB frames.  Phase 2
+        # keeps unpaired upper halves, so ``pinned`` may already exceed
+        # the target by a fraction of a half-block.
+        remainder = min(
+            max(0, target_bytes - pinned) // PAGE_4K,
+            self.buddy.free_frames,
+        )
+        if remainder > 0:
+            self.inject_fragmentation(remainder, order=0)
+            pinned += remainder * PAGE_4K
+        return pinned
+
     def release_fragmentation(self) -> None:
         """Release all pins created by :meth:`inject_fragmentation`."""
         for token in self._fragmentation_pins:

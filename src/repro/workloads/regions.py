@@ -171,8 +171,13 @@ class Region:
                 nodes = (chunks % n_nodes).astype(np.int8)
             else:
                 nodes = thread_nodes[owners].astype(np.int8)
-            address_space.premap_pattern_2m(chunk_lo, nodes)
-            np.add.at(batch.faults_2m, owners, 1.0)
+            backed = address_space.premap_pattern_2m(chunk_lo, nodes)
+            np.add.at(batch.faults_2m, owners[backed], 1.0)
+            # Chunks that fell back to base pages fault granule by
+            # granule, exactly as an un-THP'd premap would.
+            np.add.at(
+                batch.faults_4k, owners[~backed], float(GRANULES_PER_2M)
+            )
             return batch
         local = np.arange(local_lo, local_hi, dtype=np.int64)
         owners = self.owner_of_local(local)

@@ -42,6 +42,7 @@ class TestPolicyRegistry:
             "interleave-thp",
             "pt-remote",
             "replication",
+            "pressure-reclaim",
         }
 
     def test_lwp_policy_flag(self):

@@ -27,7 +27,11 @@ class TestSimConfig:
             {"scale": 1.5},
             {"ibs_rate": -0.1},
             {"ibs_rate": 1.5},
+            {"ibs_cost_cycles": 0},
+            {"ibs_cost_cycles": -2500.0},
             {"max_epochs": 0},
+            {"khugepaged_batch": 0},
+            {"khugepaged_batch": -512},
         ],
     )
     def test_invalid_rejected(self, kwargs):

@@ -14,6 +14,7 @@ from repro.sim.decisions import (
     MigratePage,
     Note,
     Outcome,
+    ReclaimPages,
     ReplicatePageTables,
     Split2M,
     ToggleThpAlloc,
@@ -167,6 +168,63 @@ class TestExecutorApply:
             executor.decisions_seen
             == executor.decisions_applied + executor.decisions_skipped
         )
+
+
+class TestReclaimPages:
+    def make_4k_host(self, n_granules=64):
+        """A host whose first granules are plain 4KB mappings."""
+        host = make_host(huge=False)
+        host.asp.fault_in(
+            np.arange(n_granules), node=0, thp_alloc=False
+        )
+        return host
+
+    def test_reclaim_applied_with_exact_counters(self):
+        host = self.make_4k_host()
+        summary, _ = apply_decisions(
+            host, gen_of(ReclaimPages(np.arange(16)))
+        )
+        assert summary.pages_reclaimed == 16
+        assert summary.bytes_reclaimed == 16 * PAGE_4K
+        assert np.all(host.asp.home_nodes(np.arange(16)) == -1)
+        host.asp.check_invariants()
+
+    def test_outcome_reports_bytes_and_count(self):
+        host = self.make_4k_host()
+        decider = FakeDecider("r", [ReclaimPages(np.arange(8))])
+        ActionExecutor(host).drive(
+            decider.decide(host, IbsSamples.empty(), None),
+            PolicyActionSummary(),
+        )
+        (outcome,) = decider.outcomes
+        assert outcome.applied
+        assert outcome.bytes_moved == 8 * PAGE_4K
+        assert outcome.count == 8
+
+    def test_nothing_eligible_is_a_skip(self):
+        host = make_host(huge=True)  # everything huge-backed
+        executor = ActionExecutor(host)
+        summary = PolicyActionSummary()
+        executor.drive(gen_of(ReclaimPages(np.arange(4))), summary)
+        assert executor.decisions_skipped == 1
+        assert summary.pages_reclaimed == 0
+
+    def test_page_id_claims_conflict_domain(self):
+        host = self.make_4k_host()
+        a = FakeDecider("a", [ReclaimPages(np.arange(4), page_id=0)])
+        b = FakeDecider("b", [MigratePage(0, 1)])
+        run_stack(host, a, b)
+        assert a.outcomes[0].applied
+        assert b.outcomes[0].reason == "conflict"
+
+    def test_without_page_id_no_claim(self):
+        host = self.make_4k_host()
+        a = FakeDecider("a", [ReclaimPages(np.arange(4))])
+        b = FakeDecider(
+            "b", [ReclaimPages(np.arange(8, 12))]
+        )
+        run_stack(host, a, b)
+        assert a.outcomes[0].applied and b.outcomes[0].applied
 
 
 class TestConflictResolution:

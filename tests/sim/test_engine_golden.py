@@ -96,8 +96,9 @@ def test_engine_deterministic_across_repeats(quick_settings):
 # seed 0). The twelve pre-existing policies were captured from the
 # per-policy mutation path *before* the decision-kernel refactor, so
 # any behavioural drift in the decide/execute split shows up as an
-# exact hex or fingerprint mismatch. The two decision-native policies
-# (pt-remote, replication) are pinned from their introduction.
+# exact hex or fingerprint mismatch. The decision-native policies
+# (pt-remote, replication, pressure-reclaim) are pinned from their
+# introduction.
 
 POLICY_MATRIX = {
     'linux-4k': {
@@ -308,6 +309,26 @@ POLICY_MATRIX = {
         'runtime_s': '0x1.9cc5e7debd40ap+2',
         'daemon_time': '0x0.0p+0',
         'fingerprint': '7a7e330e4980a7ca4b2b96259dabf7656cdaeef08c3796bd27671434dfd21a8e',
+        'actions': {
+            'migrated_4k': 0,
+            'migrated_2m': 0,
+            'bytes_migrated': 0,
+            'splits_2m': 0,
+            'splits_1g': 0,
+            'collapses_2m': 0,
+            'replicated_pages': 0,
+            'bytes_replicated': 0,
+            'compute_s': '0x0.0p+0',
+            'n_notes': 0,
+        },
+    },
+    'pressure-reclaim': {
+        # Solo SSCA.20 on machine A never crosses the low watermark, so
+        # the policy's matrix entry pins the do-nothing fast path; the
+        # reclaim behaviour itself is pinned by the scenario goldens.
+        'runtime_s': '0x1.497f7a8b08110p+2',
+        'daemon_time': '0x0.0p+0',
+        'fingerprint': 'd484cfe240a0c0ae6387d61109bdbe48b7c3ee3e7a4e8d68e274c73b49e87031',
         'actions': {
             'migrated_4k': 0,
             'migrated_2m': 0,
